@@ -1,0 +1,62 @@
+// Ablation: XORWOW (cuRAND's default) vs Philox4x32-10 (oneMKL) throughput
+// on the host -- the two generators the Raytracing migration swaps between
+// (Sec. 3.3). Philox pays ten rounds of multiplies per 128-bit block but
+// needs no stored state; XORWOW is a few shifts/xors per 32-bit draw.
+#include <benchmark/benchmark.h>
+
+#include "rng/philox.hpp"
+#include "rng/xorwow.hpp"
+
+namespace {
+
+void BM_Xorwow(benchmark::State& state) {
+    altis::rng::xorwow gen(12345);
+    std::uint32_t sink = 0;
+    for (auto _ : state) sink ^= gen.next_u32();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xorwow);
+
+void BM_Philox(benchmark::State& state) {
+    altis::rng::philox4x32 gen(12345);
+    std::uint32_t sink = 0;
+    for (auto _ : state) sink ^= gen.next_u32();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Philox);
+
+void BM_PhiloxBlock(benchmark::State& state) {
+    // Counter-mode block generation, as kernels use it (no sequential state).
+    std::uint32_t ctr = 0;
+    std::uint32_t sink = 0;
+    for (auto _ : state) {
+        const auto out =
+            altis::rng::philox4x32::block({ctr++, 0u, 0u, 0u}, {7u, 9u});
+        sink ^= out[0] ^ out[3];
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 4);  // 4 draws per block
+}
+BENCHMARK(BM_PhiloxBlock);
+
+void BM_XorwowFloat(benchmark::State& state) {
+    altis::rng::xorwow gen(99);
+    float sink = 0.0f;
+    for (auto _ : state) sink += gen.next_float();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_XorwowFloat);
+
+void BM_PhiloxFloat(benchmark::State& state) {
+    altis::rng::philox4x32 gen(99);
+    float sink = 0.0f;
+    for (auto _ : state) sink += gen.next_float();
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PhiloxFloat);
+
+}  // namespace
+
+BENCHMARK_MAIN();

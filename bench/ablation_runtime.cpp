@@ -1,0 +1,119 @@
+// Ablation: host-side microbenchmarks of the syclite runtime itself --
+// kernel dispatch cost, hierarchical work-group execution, pipe throughput
+// and thread-pool scaling. These measure the *functional* substrate (real
+// wall-clock), not the simulated device times.
+#include <benchmark/benchmark.h>
+
+#include "sycl/syclite.hpp"
+
+namespace {
+
+using namespace syclite;
+
+perf::kernel_stats tiny_stats() {
+    perf::kernel_stats k;
+    k.name = "tiny";
+    k.fp32_ops = 1;
+    return k;
+}
+
+void BM_SubmitDispatch(benchmark::State& state) {
+    queue q("xeon_6128");
+    buffer<int> b(1);
+    for (auto _ : state) {
+        q.submit([&](handler& h) {
+            auto acc = h.get_access(b, access_mode::read_write);
+            h.single_task(tiny_stats(), [=]() { acc[0] += 1; });
+        });
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitDispatch);
+
+void BM_ParallelFor(benchmark::State& state) {
+    queue q("xeon_6128");
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    buffer<float> b(n);
+    for (auto _ : state) {
+        q.submit([&](handler& h) {
+            auto acc = h.get_access(b, access_mode::read_write);
+            h.parallel_for(nd_range<1>(range<1>(n), range<1>(256)), tiny_stats(),
+                           [=](nd_item<1> it) {
+                               acc[it.get_global_id(0)] += 1.0f;
+                           });
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelFor)->Range(1 << 10, 1 << 18);
+
+void BM_HierarchicalTwoPhase(benchmark::State& state) {
+    queue q("xeon_6128");
+    const std::size_t groups = static_cast<std::size_t>(state.range(0));
+    buffer<float> b(groups * 64);
+    for (auto _ : state) {
+        q.submit([&](handler& h) {
+            auto acc = h.get_access(b, access_mode::read_write);
+            h.parallel_for_work_group(
+                range<1>(groups), range<1>(64), tiny_stats(), [=](group<1> g) {
+                    float tile[64];
+                    g.parallel_for_work_item([&](h_item<1> it) {
+                        tile[it.get_local_id(0)] =
+                            acc[it.get_global_id(0)];
+                    });
+                    g.parallel_for_work_item([&](h_item<1> it) {
+                        acc[it.get_global_id(0)] =
+                            tile[63 - it.get_local_id(0)];
+                    });
+                });
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 64);
+}
+BENCHMARK(BM_HierarchicalTwoPhase)->Range(16, 4096);
+
+void BM_PipeThroughput(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        syclite::pipe<int> p(64);  // qualified: POSIX pipe() shadows the name
+        queue q("stratix_10");
+        const int n = static_cast<int>(state.range(0));
+        state.ResumeTiming();
+        q.begin_dataflow();
+        q.submit([&](handler& h) {
+            perf::kernel_stats k = tiny_stats();
+            k.writes_pipe = true;
+            h.single_task(k, [&p, n] {
+                for (int i = 0; i < n; ++i) p.write(i);
+            });
+        });
+        q.submit([&](handler& h) {
+            perf::kernel_stats k = tiny_stats();
+            k.reads_pipe = true;
+            h.single_task(k, [&p, n] {
+                long sum = 0;
+                for (int i = 0; i < n; ++i) sum += p.read();
+                benchmark::DoNotOptimize(sum);
+            });
+        });
+        q.end_dataflow();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipeThroughput)->Range(1 << 10, 1 << 16);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+    thread_pool pool;
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<double> data(n, 1.0);
+    for (auto _ : state) {
+        pool.parallel_for(n, [&](std::size_t i) { data[i] *= 1.0000001; });
+    }
+    benchmark::DoNotOptimize(data.data());
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

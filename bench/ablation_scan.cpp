@@ -1,0 +1,59 @@
+// Ablation: the three prefix-sum implementations of the Where story
+// (Sec. 3.3 / 5.3 / Listing 2), measured functionally with google-benchmark
+// on the host. Shapes to observe: the blocked (library-style) scan needs
+// multiple passes; the Listing-2 recurrence is a single pass.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "scan/scan.hpp"
+#include "sycl/thread_pool.hpp"
+
+namespace {
+
+std::vector<int> input(std::size_t n) {
+    std::mt19937 gen(42);
+    std::uniform_int_distribution<int> dist(0, 3);
+    std::vector<int> v(n);
+    for (auto& x : v) x = dist(gen);
+    return v;
+}
+
+void BM_ScanSerial(benchmark::State& state) {
+    const auto in = input(static_cast<std::size_t>(state.range(0)));
+    std::vector<int> out(in.size());
+    for (auto _ : state) {
+        altis::scan::exclusive_scan_serial(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanSerial)->Range(1 << 12, 1 << 22);
+
+void BM_ScanBlocked(benchmark::State& state) {
+    const auto in = input(static_cast<std::size_t>(state.range(0)));
+    std::vector<int> out(in.size());
+    syclite::thread_pool pool;
+    for (auto _ : state) {
+        altis::scan::exclusive_scan_blocked(in, out, pool);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanBlocked)->Range(1 << 12, 1 << 22);
+
+void BM_ScanFpgaCustom(benchmark::State& state) {
+    const auto in = input(static_cast<std::size_t>(state.range(0)));
+    std::vector<int> out(in.size());
+    for (auto _ : state) {
+        altis::scan::exclusive_scan_fpga_custom(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanFpgaCustom)->Range(1 << 12, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

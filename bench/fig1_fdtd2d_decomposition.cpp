@@ -1,0 +1,69 @@
+// Regenerates Figure 1: execution-time decomposition (kernel vs non-kernel)
+// of FDTD2D on the RTX 2080, CUDA vs SYCL, input sizes 1 and 3. The SYCL
+// runtime's extra context/event management APIs inflate the non-kernel
+// region by roughly an order of magnitude per launch (Sec. 3.3).
+#include <iostream>
+
+#include "apps/common/app.hpp"
+#include "apps/fdtd2d/fdtd2d.hpp"
+#include "core/report.hpp"
+
+int main() {
+    using altis::Table;
+    using namespace altis;
+    namespace perf = altis::perf;
+
+    const perf::device_spec& rtx = perf::device_by_name("rtx_2080");
+
+    std::cout << "Figure 1: Execution-Time [ms] Decomposition of FDTD2D on "
+                 "the RTX 2080: CUDA vs SYCL\n\n";
+
+    Table t({"Input Size", "Runtime", "Non-Kernel [ms]", "Kernel [ms]",
+             "Total [ms]", "Paper Non-Kernel", "Paper Kernel"});
+    struct Ref {
+        double nk, k;
+    };
+    const Ref paper[2][2] = {{{0.4, 1.1}, {2.7, 1.8}},
+                             {{10.0, 523.7}, {145.7, 393.4}}};
+    int row = 0;
+    for (int size : {1, 3}) {
+        int col = 0;
+        for (perf::runtime_kind rt :
+             {perf::runtime_kind::cuda, perf::runtime_kind::sycl}) {
+            const Variant v = rt == perf::runtime_kind::cuda ? Variant::cuda
+                                                             : Variant::sycl_opt;
+            const auto est =
+                apps::simulate_region(apps::fdtd2d::region(v, rtx, size), rtx, rt);
+            t.add_row({std::to_string(size), to_string(rt),
+                       Table::num(est.non_kernel_ms(), 1),
+                       Table::num(est.kernel_ms(), 1),
+                       Table::num(est.total_ms(), 1),
+                       Table::num(paper[row][col].nk, 1),
+                       Table::num(paper[row][col].k, 1)});
+            ++col;
+        }
+        ++row;
+    }
+    t.print(std::cout);
+
+    // The two ratios the paper calls out explicitly.
+    const auto sycl1 = apps::simulate_region(
+        apps::fdtd2d::region(Variant::sycl_opt, rtx, 1), rtx,
+        perf::runtime_kind::sycl);
+    const auto cuda1 = apps::simulate_region(
+        apps::fdtd2d::region(Variant::cuda, rtx, 1), rtx,
+        perf::runtime_kind::cuda);
+    const auto sycl3 = apps::simulate_region(
+        apps::fdtd2d::region(Variant::sycl_opt, rtx, 3), rtx,
+        perf::runtime_kind::sycl);
+    std::cout << "\nSize 1: SYCL non-kernel / SYCL kernel       = "
+              << Table::num(sycl1.non_kernel_ms() / sycl1.kernel_ms(), 2)
+              << "  (paper: ~1.5)\n";
+    std::cout << "Size 1: SYCL non-kernel / CUDA non-kernel   = "
+              << Table::num(sycl1.non_kernel_ms() / cuda1.non_kernel_ms(), 2)
+              << "  (paper: ~6.7)\n";
+    std::cout << "Size 3: SYCL kernel / SYCL non-kernel       = "
+              << Table::num(sycl3.kernel_ms() / sycl3.non_kernel_ms(), 2)
+              << "  (paper: ~2.7)\n";
+    return 0;
+}

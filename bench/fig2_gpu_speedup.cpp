@@ -1,0 +1,80 @@
+// Regenerates Figure 2: speedup of Altis-SYCL over Altis (CUDA) on the
+// RTX 2080 -- the Baseline (functionally-correct DPCT migration) and the
+// Optimized (Sec. 3.3 techniques) panels, across input sizes 1-3, plus the
+// geometric means. FDTD2D's baseline compares against the *mistimed*
+// original CUDA (missing cudaDeviceSynchronize), as in the paper.
+#include <cmath>
+#include <iostream>
+
+#include "apps/common/app.hpp"
+#include "apps/common/suite.hpp"
+#include "core/report.hpp"
+#include "core/result_database.hpp"
+
+namespace {
+
+using altis::Table;
+using altis::Variant;
+namespace bench = altis::bench;
+namespace apps = altis::apps;
+namespace perf = altis::perf;
+
+double speedup(const bench::SuiteEntry& e, Variant sycl_variant, int size) {
+    const perf::device_spec& rtx = perf::device_by_name("rtx_2080");
+    // FDTD2D baseline: the paper's comparison point is the unsynchronized
+    // CUDA timing (Sec. 3.3).
+    double cuda_ms;
+    if (sycl_variant == Variant::sycl_base && e.cuda_mistimed) {
+        cuda_ms = apps::simulate_region(e.cuda_mistimed(rtx, size), rtx,
+                                        perf::runtime_kind::cuda)
+                      .total_ms();
+    } else if (sycl_variant == Variant::sycl_opt && e.cuda_fixed) {
+        // Optimized panel: the paper ported the fix back to CUDA first.
+        cuda_ms = apps::simulate_region(e.cuda_fixed(rtx, size), rtx,
+                                        perf::runtime_kind::cuda)
+                      .total_ms();
+    } else {
+        cuda_ms = *bench::total_ms(e, Variant::cuda, "rtx_2080", size);
+    }
+    const double sycl_ms = *bench::total_ms(e, sycl_variant, "rtx_2080", size);
+    return cuda_ms / sycl_ms;
+}
+
+void panel(const char* title, Variant v,
+           const std::array<double, 3> bench::SuiteEntry::* paper) {
+    std::cout << "== " << title << " ==\n";
+    Table t({"Application", "Size 1", "Size 2", "Size 3", "Paper S1",
+             "Paper S2", "Paper S3"});
+    altis::ResultDatabase db;
+    for (const auto& e : bench::suite()) {
+        if (!e.in_fig2) continue;
+        std::vector<std::string> row{e.label};
+        for (int size : {1, 2, 3}) {
+            const double s = speedup(e, v, size);
+            db.add_result("speedup_size" + std::to_string(size), e.label, "x", s);
+            row.push_back(Table::num(s, 2));
+        }
+        for (int i = 0; i < 3; ++i)
+            row.push_back(
+                Table::num((e.*paper)[static_cast<std::size_t>(i)], 2));
+        t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << "geomean: size1 " << Table::num(db.geomean("speedup_size1"), 2)
+              << ", size2 " << Table::num(db.geomean("speedup_size2"), 2)
+              << ", size3 " << Table::num(db.geomean("speedup_size3"), 2)
+              << '\n';
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "Figure 2: Speedup of Altis-SYCL over Altis (CUDA) on the "
+                 "RTX 2080\n\n";
+    panel("Baseline (DPCT migration, functionally correct)", Variant::sycl_base,
+          &bench::SuiteEntry::paper_fig2_baseline);
+    std::cout << "paper geomean reference: optimized 1.0 / 1.1 / 1.3\n\n";
+    panel("Optimized (Sec. 3.3)", Variant::sycl_opt,
+          &bench::SuiteEntry::paper_fig2_optimized);
+    return 0;
+}

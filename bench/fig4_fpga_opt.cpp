@@ -1,0 +1,47 @@
+// Regenerates Figure 4: speedup of the "FPGA Optimized" over the "FPGA
+// Baseline" implementations on the Stratix 10, sizes 1-3, plus geometric
+// means. (DWT2D has no optimized FPGA version -- Sec. 5.4 -- and is absent,
+// exactly as in the figure.)
+#include <iostream>
+
+#include "apps/common/suite.hpp"
+#include "core/report.hpp"
+#include "core/result_database.hpp"
+
+int main() {
+    using altis::Table;
+    using altis::Variant;
+    namespace bench = altis::bench;
+
+    std::cout << "Figure 4: Speedup of FPGA Optimized over FPGA Baseline on "
+                 "Stratix 10\n\n";
+    Table t({"Application", "Size 1", "Size 2", "Size 3", "Paper S1",
+             "Paper S2", "Paper S3"});
+    altis::ResultDatabase db;
+    for (const auto& e : bench::suite()) {
+        if (!e.in_fig45) continue;
+        std::vector<std::string> row{e.label};
+        for (int size : {1, 2, 3}) {
+            const auto base =
+                bench::total_ms(e, Variant::fpga_base, "stratix_10", size);
+            const auto opt =
+                bench::total_ms(e, Variant::fpga_opt, "stratix_10", size);
+            if (!base || !opt) {
+                row.push_back("n/a");
+                continue;
+            }
+            const double s = *base / *opt;
+            db.add_result("speedup_size" + std::to_string(size), e.label, "x", s);
+            row.push_back(Table::num(s, 1));
+        }
+        for (int i = 0; i < 3; ++i)
+            row.push_back(Table::num(e.paper_fig4[static_cast<std::size_t>(i)], 1));
+        t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+    std::cout << "geomean: size1 " << Table::num(db.geomean("speedup_size1"), 1)
+              << ", size2 " << Table::num(db.geomean("speedup_size2"), 1)
+              << ", size3 " << Table::num(db.geomean("speedup_size3"), 1)
+              << "   (paper: 10.7 / 20.7 / 35.6)\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Regenerates Table 2: the employed accelerator devices with process node,
+// compute units, peak FP32 and peak memory bandwidth. For the FPGAs the
+// peak *attainable* range is computed with the paper's formula
+// Peak FP32 = N_dsp x 2 x F over the achieved kernel-frequency range.
+#include <iostream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "perf/device.hpp"
+
+int main() {
+    using altis::Table;
+    namespace perf = altis::perf;
+
+    std::cout << "Table 2: Employed Accelerator Devices (simulated models)\n\n";
+    Table t({"Device", "Process [nm]", "# Compute Units", "Peak FP32 [TFLOP/s]",
+             "Peak Mem. BW [GB/s]"});
+    for (const auto& d : perf::device_catalog()) {
+        if (d.name == "agilex_hbm") continue;  // Sec. 6 projection, not in Table 2
+        std::string units;
+        std::string peak;
+        switch (d.kind) {
+            case perf::device_kind::cpu:
+                units = std::to_string(d.compute_units) + " Cores";
+                peak = Table::num(d.peak_fp32_tflops, 1);
+                break;
+            case perf::device_kind::gpu:
+                units = std::to_string(d.compute_units) +
+                        (d.name == "max_1100" ? " Xe-cores" : " SMs");
+                peak = Table::num(d.peak_fp32_tflops, 1);
+                break;
+            case perf::device_kind::fpga: {
+                units = std::to_string(d.compute_units) + " DSPs (user logic)";
+                std::ostringstream os;
+                os << Table::num(d.fpga_peak_fp32_tflops(d.fmin_mhz), 1) << " ("
+                   << Table::num(d.fmin_mhz, 0) << " MHz) - "
+                   << Table::num(d.fpga_peak_fp32_tflops(d.fmax_mhz), 1) << " ("
+                   << Table::num(d.fmax_mhz, 0) << " MHz)";
+                peak = os.str();
+                break;
+            }
+        }
+        t.add_row({d.display, std::to_string(d.process_nm), units, peak,
+                   Table::num(d.mem_bw_gbs, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper reference: FPGA peak attainable 2.4-4.2 TFLOP/s "
+                 "(Stratix 10), 2.3-5.0 TFLOP/s (Agilex).\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+// Regenerates Table 3: resource utilization (ALM/BRAM/DSP, %) and achieved
+// kernel frequency (MHz) of every Altis-SYCL FPGA design on Stratix 10 and
+// Agilex, via the synthesis estimator that substitutes for Quartus
+// (DESIGN.md Sec. 2). Mandelbrot gets one row per input size (three
+// specialized bitstreams, Sec. 5.5); DWT2D is absent (baseline only, and the
+// paper's Table 3 lists optimized designs).
+#include <iostream>
+
+#include "apps/common/suite.hpp"
+#include "core/report.hpp"
+#include "perf/resource_model.hpp"
+
+namespace {
+
+struct PaperRow {
+    const char* label;
+    double alm_s10, alm_agx, bram_s10, bram_agx, dsp_s10, dsp_agx;
+    double f_s10, f_agx;
+};
+
+// Table 3 as printed in the paper.
+constexpr PaperRow kPaper[] = {
+    {"CFD FP32", 35.9, 79.7, 16.3, 43.7, 28.6, 70.4, 295.8, 425.2},
+    {"CFD FP64", 65.7, 90.7, 30.0, 46.6, 21.7, 22.1, 256.3, 373.3},
+    {"FDTD2D", 22.0, 28.6, 7.9, 15.7, 2.4, 3.1, 416.7, 554.3},
+    {"KMeans", 25.3, 29.0, 7.0, 14.7, 10.8, 13.8, 347.5, 370.6},
+    {"LavaMD", 76.7, 76.0, 15.0, 21.0, 22.9, 16.2, 320.8, 519.2},
+    {"Mandelbrot (size 1)", 61.8, 58.8, 4.0, 14.2, 71.4, 39.7, 335.0, 539.3},
+    {"Mandelbrot (size 2)", 48.4, 65.1, 3.6, 10.5, 71.2, 56.8, 379.2, 539.3},
+    {"Mandelbrot (size 3)", 45.3, 53.1, 3.9, 8.3, 71.1, 45.4, 375.0, 544.4},
+    {"NW", 45.6, 45.5, 63.9, 59.4, 1.5, 1.0, 216.0, 414.1},
+    {"PF Naive", 48.3, 80.4, 26.3, 37.6, 0.0, 0.0, 107.8, 108.4},
+    {"PF Float", 60.1, 67.9, 32.9, 31.2, 3.6, 4.5, 101.9, 123.7},
+    {"Raytracing", 71.4, 84.2, 37.5, 43.2, 53.4, 40.0, 321.9, 457.9},
+    {"SRAD", 31.9, 44.8, 46.4, 33.5, 3.5, 4.5, 280.0, 463.2},
+    {"Where", 32.3, 60.2, 15.3, 51.8, 0.0, 0.0, 308.3, 461.7},
+};
+
+const PaperRow* paper_row(const std::string& label) {
+    for (const auto& r : kPaper)
+        if (label == r.label) return &r;
+    return nullptr;
+}
+
+}  // namespace
+
+int main() {
+    using altis::Table;
+    namespace bench = altis::bench;
+    namespace perf = altis::perf;
+
+    const perf::device_spec& s10 = perf::device_by_name("stratix_10");
+    const perf::device_spec& agx = perf::device_by_name("agilex");
+
+    std::cout << "Table 3: estimated resource utilization (%) and Fmax (MHz) "
+                 "on Stratix 10 and Agilex\n"
+              << "(format: ours | paper)\n\n";
+
+    Table t({"Application", "ALM S10", "ALM Agx", "BRAM S10", "BRAM Agx",
+             "DSP S10", "DSP Agx", "Freq S10", "Freq Agx", "Implementation"});
+
+    auto add_design = [&](const std::string& label,
+                          const bench::SuiteEntry& e, int size) {
+        const auto us = perf::estimate_design_resources(e.fpga_design(s10, size), s10);
+        const auto ua = perf::estimate_design_resources(e.fpga_design(agx, size), agx);
+        const PaperRow* p = paper_row(label);
+        auto fmt = [](double ours, double paper) {
+            return Table::percent(ours) + " | " + Table::num(paper, 1) + "%";
+        };
+        auto fmtf = [](double ours, double paper) {
+            return Table::num(ours, 1) + " | " + Table::num(paper, 1);
+        };
+        t.add_row({label, fmt(us.alm_frac, p ? p->alm_s10 : 0),
+                   fmt(ua.alm_frac, p ? p->alm_agx : 0),
+                   fmt(us.bram_frac, p ? p->bram_s10 : 0),
+                   fmt(ua.bram_frac, p ? p->bram_agx : 0),
+                   fmt(us.dsp_frac, p ? p->dsp_s10 : 0),
+                   fmt(ua.dsp_frac, p ? p->dsp_agx : 0),
+                   fmtf(us.fmax_mhz, p ? p->f_s10 : 0),
+                   fmtf(ua.fmax_mhz, p ? p->f_agx : 0), e.fpga_impl});
+        if (!us.fits || !ua.fits)
+            std::cout << "WARNING: " << label << " does not fit: "
+                      << (us.fits ? ua.failure_reason : us.failure_reason)
+                      << '\n';
+    };
+
+    for (const auto& e : bench::suite()) {
+        if (!e.in_fig45) continue;  // DWT2D: baseline only, not in Table 3
+        if (e.label == "Mandelbrot") {
+            for (int size : {1, 2, 3})
+                add_design("Mandelbrot (size " + std::to_string(size) + ")", e,
+                           size);
+        } else {
+            add_design(e.label, e, 2);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nDevice totals: S10 ALM " << s10.total_alms << ", BRAM "
+              << s10.total_brams << ", DSP " << s10.total_dsps << "; Agilex ALM "
+              << agx.total_alms << ", BRAM " << agx.total_brams << ", DSP "
+              << agx.total_dsps << '\n';
+    return 0;
+}

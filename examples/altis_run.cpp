@@ -1,0 +1,110 @@
+// Suite runner CLI: the Altis-style entry point. Runs one application (or
+// every registered application) functionally on a simulated device, verifies
+// the results against the host reference, and reports timing statistics.
+//
+//   ./examples/altis_run --help
+//   ./examples/altis_run kmeans --device stratix_10 --variant fpga_opt
+//   ./examples/altis_run all --size 1 --device rtx_2080 --passes 3 --csv
+#include <iostream>
+
+#include "apps/common/app.hpp"
+#include "core/option_parser.hpp"
+#include "core/registry.hpp"
+#include "core/result_database.hpp"
+
+int main(int argc, char** argv) {
+    using namespace altis;
+
+    OptionParser opts;
+    add_standard_options(opts);
+    opts.add_option("variant", "sycl_opt",
+                    "cuda | sycl_base | sycl_opt | fpga_base | fpga_opt");
+    opts.add_flag("csv", "dump raw trial values as CSV");
+    opts.add_flag("json", "dump results as JSON");
+    opts.add_flag("list", "list registered applications and exit");
+
+    try {
+        if (!opts.parse(argc, argv, std::cout)) return 0;
+    } catch (const OptionError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    apps::register_all_apps();
+    auto& registry = Registry::instance();
+
+    if (opts.get_flag("list")) {
+        for (const auto& app : registry.apps()) {
+            std::cout << app.name << " -- " << app.description << " [";
+            for (std::size_t i = 0; i < app.variants.size(); ++i)
+                std::cout << (i ? " " : "") << to_string(app.variants[i]);
+            std::cout << "]\n";
+        }
+        return 0;
+    }
+
+    RunConfig cfg;
+    cfg.size = static_cast<int>(opts.get_int("size"));
+    cfg.device = opts.get_string("device");
+    cfg.passes = static_cast<int>(opts.get_int("passes"));
+    const std::string vname = opts.get_string("variant");
+    bool found = false;
+    for (const Variant v : {Variant::cuda, Variant::sycl_base, Variant::sycl_opt,
+                            Variant::fpga_base, Variant::fpga_opt}) {
+        if (vname == to_string(v)) {
+            cfg.variant = v;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::cerr << "error: unknown variant " << vname << "\n";
+        return 2;
+    }
+
+    std::vector<std::string> targets = opts.positional();
+    if (targets.empty()) {
+        std::cerr << "usage: altis_run <app|all> [options]; see --help or "
+                     "--list\n";
+        return 2;
+    }
+    if (targets.size() == 1 && targets[0] == "all") {
+        targets.clear();
+        for (const auto& app : registry.apps()) targets.push_back(app.name);
+    }
+
+    ResultDatabase db;
+    int failures = 0;
+    for (const auto& name : targets) {
+        const AppInfo* app = registry.find(name);
+        if (app == nullptr) {
+            std::cerr << "error: unknown application '" << name
+                      << "' (try --list)\n";
+            return 2;
+        }
+        const bool supported =
+            std::find(app->variants.begin(), app->variants.end(),
+                      cfg.variant) != app->variants.end() &&
+            apps::variant_allowed(cfg.variant,
+                                  perf::device_by_name(cfg.device));
+        if (!supported) {
+            std::cout << name << ": skipped (variant/device unsupported)\n";
+            continue;
+        }
+        try {
+            app->run(cfg, db);
+            std::cout << name << ": ok (" << cfg.passes << " passes, verified)\n";
+        } catch (const std::exception& e) {
+            std::cout << name << ": FAILED -- " << e.what() << "\n";
+            ++failures;
+        }
+    }
+
+    std::cout << '\n';
+    if (opts.get_flag("csv"))
+        db.dump_csv(std::cout);
+    else if (opts.get_flag("json"))
+        db.dump_json(std::cout);
+    else
+        db.dump_summary(std::cout);
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// FPGA migration walkthrough: retraces the paper's Sec. 4-5 journey on the
+// Where application, printing time / resources / Fmax after every step:
+//
+//   step 0  GPU-optimized SYCL on the RTX 2080 (the starting point)
+//   step 1  same ND-Range kernels, first FPGA bitstream (Sec. 4 refactor)
+//   step 2  + [[intel::kernel_args_restrict]] on the kernels (Sec. 5.1)
+//   step 3  + custom Single-Task prefix sum, Listing 2 (Sec. 5.3)
+//   step 4  + compute-unit replication 20x / 2x (Sec. 5.1/5.5)
+//
+// Build & run:   ./examples/fpga_migration
+#include <iostream>
+
+#include "apps/common/app.hpp"
+#include "apps/where/where.hpp"
+#include "core/report.hpp"
+#include "perf/resource_model.hpp"
+#include "scan/scan.hpp"
+
+namespace {
+
+using altis::Table;
+using altis::Variant;
+namespace apps = altis::apps;
+namespace perf = altis::perf;
+
+void report_step(Table& t, const char* step, const apps::timed_region& region,
+                 const perf::device_spec& dev, perf::runtime_kind rt) {
+    const auto est = apps::simulate_region(region, dev, rt);
+    std::string alm = "-", fmax = "-", fits = "-";
+    if (dev.is_fpga()) {
+        const auto u = perf::estimate_design_resources(region.all_kernels(), dev);
+        alm = Table::percent(u.alm_frac);
+        fmax = Table::num(u.fmax_mhz, 0);
+        fits = u.fits ? "yes" : "NO";
+    }
+    t.add_row({step, dev.display, Table::num(est.total_ms(), 2), alm, fmax,
+               fits});
+}
+
+}  // namespace
+
+int main() {
+    constexpr int kSize = 2;
+    const auto& rtx = perf::device_by_name("rtx_2080");
+    const auto& s10 = perf::device_by_name("stratix_10");
+
+    std::cout << "Migrating `Where` from GPU-optimized SYCL to an optimized "
+                 "Stratix 10 design (size "
+              << kSize << ")\n\n";
+    Table t({"Step", "Device", "Total [ms]", "ALM", "Fmax [MHz]", "Fits"});
+
+    // Step 0: the GPU-optimized SYCL version.
+    report_step(t, "0: sycl_opt on GPU",
+                apps::where::region(Variant::sycl_opt, rtx, kSize), rtx,
+                perf::runtime_kind::sycl);
+
+    // Step 1: first working FPGA bitstream (ND-Range, oneDPL-shaped scan).
+    report_step(t, "1: fpga_base (Sec. 4)",
+                apps::where::region(Variant::fpga_base, s10, kSize), s10,
+                perf::runtime_kind::sycl);
+
+    // Step 2: restrict-qualify the kernel arguments; keep everything else.
+    {
+        auto region = apps::where::region(Variant::fpga_base, s10, kSize);
+        for (auto& slot : region.kernels) slot.stats.args_restrict = true;
+        report_step(t, "2: + kernel_args_restrict", region, s10,
+                    perf::runtime_kind::sycl);
+    }
+
+    // Step 3: swap the scan for the custom Single-Task kernel (Listing 2),
+    // which also drops the oneDPL library overhead.
+    {
+        auto region = apps::where::region(Variant::fpga_base, s10, kSize);
+        for (auto& slot : region.kernels) {
+            slot.stats.args_restrict = true;
+            if (slot.stats.name == "scan_onedpl")
+                slot.stats = altis::scan::stats_scan_fpga_custom(
+                    apps::where::params::preset(kSize).n);
+        }
+        region.extra_non_kernel_ns = 0.0;
+        report_step(t, "3: + Listing-2 scan", region, s10,
+                    perf::runtime_kind::sycl);
+    }
+
+    // Step 4: the full fpga_opt tuning (replication 20x mark / 2x scatter).
+    report_step(t, "4: fpga_opt (Sec. 5.5)",
+                apps::where::region(Variant::fpga_opt, s10, kSize), s10,
+                perf::runtime_kind::sycl);
+
+    t.print(std::cout);
+
+    std::cout << "\nEvery step is also functionally runnable; run the "
+                 "endpoints with verification:\n";
+    for (const Variant v : {Variant::fpga_base, Variant::fpga_opt}) {
+        altis::RunConfig cfg;
+        cfg.size = 1;  // functional runs use the small preset
+        cfg.device = "stratix_10";
+        cfg.variant = v;
+        const auto r = apps::where::run(cfg);
+        std::cout << "  " << to_string(v)
+                  << ": verified, simulated total " << r.total_ms << " ms\n";
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Kernel advisor: runs the analysis engine (the reproduction's VTune
+// stand-in, Sec. 5.2) over every optimized FPGA design in the suite and over
+// a few GPU kernels, printing what bounds each kernel and which of the
+// paper's techniques the model predicts would help.
+//
+// Build & run:   ./examples/kernel_advisor [device]
+#include <iostream>
+
+#include "apps/common/suite.hpp"
+#include "perf/analysis.hpp"
+#include "perf/resource_model.hpp"
+
+int main(int argc, char** argv) {
+    namespace bench = altis::bench;
+    namespace perf = altis::perf;
+
+    const std::string device_name = argc > 1 ? argv[1] : "stratix_10";
+    const perf::device_spec& dev = perf::device_by_name(device_name);
+
+    std::cout << "Kernel advisor -- " << dev.display << ", size-2 designs\n\n";
+    for (const auto& e : bench::suite()) {
+        if (dev.is_fpga() && !e.in_fig45) continue;
+        const altis::Variant v = dev.is_fpga() ? altis::Variant::fpga_opt
+                                               : altis::Variant::sycl_opt;
+        altis::apps::timed_region region;
+        try {
+            region = e.region(v, dev, 2);
+        } catch (const std::exception&) {
+            continue;
+        }
+        double design_fmax = 0.0;
+        if (dev.is_fpga())
+            design_fmax =
+                perf::estimate_design_resources(region.all_kernels(), dev)
+                    .fmax_mhz;
+        std::cout << "== " << e.label << " ==\n";
+        for (const auto& k : region.all_kernels()) {
+            const auto a = perf::analyze(k, dev, design_fmax);
+            perf::render(a, k, dev, std::cout);
+        }
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Renders visual artifacts from the two image-producing applications:
+//   mandelbrot.ppm  -- the escape-iteration fractal, colormapped
+//   raytracing.ppm  -- the Listing-1 float8-material sphere scene
+// Optionally pass an output directory (default: current directory).
+//
+// Build & run:   ./examples/render_scenes [outdir]
+#include <iostream>
+#include <vector>
+
+#include "apps/common/image.hpp"
+#include "apps/mandelbrot/mandelbrot.hpp"
+#include "apps/raytracing/raytracing.hpp"
+
+int main(int argc, char** argv) {
+    namespace apps = altis::apps;
+    const std::string outdir = argc > 1 ? argv[1] : ".";
+
+    {
+        apps::mandelbrot::params p;
+        p.width = p.height = 640;
+        std::vector<std::uint16_t> iters(p.pixels());
+        apps::mandelbrot::golden(p, iters);
+        std::vector<apps::rgb8> img(p.pixels());
+        for (std::size_t i = 0; i < img.size(); ++i)
+            img[i] = apps::escape_colormap(iters[i], p.max_iters);
+        const std::string path = outdir + "/mandelbrot.ppm";
+        apps::write_ppm(path, img, static_cast<std::size_t>(p.width),
+                        static_cast<std::size_t>(p.height));
+        std::cout << "wrote " << path << " (" << p.width << "x" << p.height
+                  << ")\n";
+    }
+    {
+        apps::raytracing::params p;
+        p.width = 480;
+        p.height = 360;
+        p.samples = 8;
+        const auto linear =
+            apps::raytracing::golden(p, apps::raytracing::rng_kind::philox);
+        std::vector<apps::rgb8> img(p.pixels());
+        for (std::size_t i = 0; i < img.size(); ++i)
+            img[i] = apps::tonemap(linear[i].x, linear[i].y, linear[i].z);
+        const std::string path = outdir + "/raytracing.ppm";
+        apps::write_ppm(path, img, p.width, p.height);
+        std::cout << "wrote " << path << " (" << p.width << "x" << p.height
+                  << ", " << p.samples << " spp, philox)\n";
+    }
+    return 0;
+}

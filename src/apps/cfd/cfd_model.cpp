@@ -1,0 +1,186 @@
+// Model descriptors for CFD FP32/FP64. Per iteration the solver launches
+// copy + step_factor + RK3 x (flux + time_step) = 8 kernels; fluxes dominate.
+// FPGA tuning per Sec. 5.1/5.5: pipes to decouple memory access, compute
+// units 4x (S10) -> 8x (Agilex) for FP32 but only 2x for FP64 (resources),
+// SIMD 2 for FP32 (memory-bandwidth capped), 2x -> 1x for FP64.
+#include "apps/cfd/cfd.hpp"
+
+namespace altis::apps::cfd {
+namespace detail {
+
+namespace {
+
+double real_bytes(bool fp64) { return fp64 ? 8.0 : 4.0; }
+
+void fp_cost(perf::kernel_stats& k, bool fp64, double ops) {
+    if (fp64)
+        k.fp64_ops = ops;
+    else
+        k.fp32_ops = ops;
+}
+
+void static_fp_cost(perf::kernel_stats& k, bool fp64, double ops) {
+    if (fp64)
+        k.static_fp64_ops = ops;
+    else
+        k.static_fp32_ops = ops;
+}
+
+struct tuning {
+    int cus;
+    int simd;
+};
+
+tuning fpga_tuning(bool fp64, const perf::device_spec& dev) {
+    const bool s10 = dev.name == "stratix_10";
+    if (fp64) return s10 ? tuning{2, 2} : tuning{2, 1};  // SIMD 2x -> 1x
+    return s10 ? tuning{4, 2} : tuning{8, 2};            // CUs 4x -> 8x
+}
+
+}  // namespace
+
+perf::kernel_stats stats_copy(const params& p, bool fp64) {
+    perf::kernel_stats k;
+    k.name = "cfd_copy";
+    k.global_items = static_cast<double>(p.nel()) * kVars;
+    k.wg_size = 192;
+    k.int_ops = 2.0;
+    k.bytes_read = real_bytes(fp64);
+    k.bytes_written = real_bytes(fp64);
+    k.static_int_ops = 4;
+    k.accessor_args = 2;
+    k.control_complexity = 1;
+    return k;
+}
+
+perf::kernel_stats stats_step_factor(const params& p, bool fp64, Variant v,
+                                     const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "cfd_step_factor";
+    k.global_items = static_cast<double>(p.nel());
+    k.wg_size = dev.is_fpga() ? 128 : 192;
+    fp_cost(k, fp64, 20.0);
+    k.sfu_ops = 2.0;  // sqrt + divide
+    k.int_ops = 10.0;
+    k.bytes_read = kVars * real_bytes(fp64);
+    k.bytes_written = real_bytes(fp64);
+    static_fp_cost(k, fp64, 20.0);
+    k.static_int_ops = 14;
+    k.static_branches = 2;
+    k.accessor_args = 2;
+    k.control_complexity = 2;
+    if (v == Variant::fpga_opt) {
+        const tuning t = fpga_tuning(fp64, dev);
+        k.simd = t.simd;
+        k.replication = t.cus;
+        k.args_restrict = true;
+    }
+    return k;
+}
+
+perf::kernel_stats stats_flux(const params& p, bool fp64, Variant v,
+                              const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "cfd_compute_flux";
+    k.global_items = static_cast<double>(p.nel());
+    k.wg_size = dev.is_fpga() ? 128 : 192;
+    fp_cost(k, fp64, kNeighbors * 130.0 + 10.0);
+    k.sfu_ops = kNeighbors * 3.0;  // two sqrt + divide per face
+    k.int_ops = kNeighbors * 10.0;
+    k.bytes_read = (kNeighbors * (kVars + 2.0) + kVars) * real_bytes(fp64) +
+                   kNeighbors * 4.0;
+    k.bytes_written = kVars * real_bytes(fp64);
+    static_fp_cost(k, fp64, 70.0);
+    k.static_int_ops = 50;
+    k.static_branches = 10;
+    k.accessor_args = 5;
+    k.control_complexity = 3;
+    k.divergence = 0.1;  // boundary faces
+    if (v == Variant::cuda && fp64) {
+        // Sec. 3.3 / Fig. 2: the unrolled CUDA FP64 flux spills registers
+        // and re-computes spilled subexpressions, which is why the migrated
+        // SYCL runs ~1.5x *faster* than CUDA at every size.
+        k.fp64_ops *= 1.5;
+        k.int_ops *= 1.5;
+    }
+    if (v == Variant::sycl_base) {
+        // DPCT keeps the #pragma unroll: 3x regression until removed.
+        k.int_ops *= 2.0;
+        if (!fp64) k.fp32_ops *= 1.6;
+        else k.fp64_ops *= 1.2;
+    }
+    if (v == Variant::fpga_opt) {
+        const tuning t = fpga_tuning(fp64, dev);
+        k.simd = t.simd;
+        k.replication = t.cus;
+        k.args_restrict = true;
+        // Pipes decouple the variable loads from the flux datapath
+        // (Sec. 5.4): redundant global reads across the RK substeps stream
+        // on chip instead. FP64 buffers twice the bytes, so it saves less.
+        k.reads_pipe = true;
+        k.bytes_read *= fp64 ? 0.6 : 0.3;
+    }
+    return k;
+}
+
+perf::kernel_stats stats_time_step(const params& p, bool fp64, Variant v,
+                                   const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "cfd_time_step";
+    k.global_items = static_cast<double>(p.nel());
+    k.wg_size = dev.is_fpga() ? 128 : 192;
+    fp_cost(k, fp64, kVars * 3.0);
+    k.int_ops = kVars * 3.0;
+    k.bytes_read = (2.0 * kVars + 1.0) * real_bytes(fp64);
+    k.bytes_written = kVars * real_bytes(fp64);
+    static_fp_cost(k, fp64, kVars * 3.0);
+    k.static_int_ops = 18;
+    k.static_branches = 3;
+    k.accessor_args = 4;
+    k.control_complexity = 1;
+    if (v == Variant::fpga_opt) {
+        const tuning t = fpga_tuning(fp64, dev);
+        k.simd = t.simd;
+        k.replication = t.cus;
+        k.args_restrict = true;
+        k.writes_pipe = true;
+    }
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(bool fp64, Variant v, const perf::device_spec& dev,
+                    int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    const double rb = fp64 ? 8.0 : 4.0;
+    r.transfer_bytes = static_cast<double>(p.nel()) * kVars * rb * 2.0 +
+                       static_cast<double>(p.nel()) * kNeighbors * 12.0;
+    r.transfer_calls = 4.0;
+    r.syncs = 1.0;
+    const double iters = static_cast<double>(p.iterations);
+    r.kernels.push_back({detail::stats_copy(p, fp64), iters});
+    r.kernels.push_back({detail::stats_step_factor(p, fp64, v, dev), iters});
+    // Pipes' effect is captured in the flux kernel's reduced global traffic
+    // (reads_pipe + bytes_read scaling); the launch sequence stays serial
+    // because time_step consumes the fluxes of the same RK substep.
+    r.kernels.push_back({detail::stats_flux(p, fp64, v, dev),
+                         iters * kRkSteps});
+    r.kernels.push_back({detail::stats_time_step(p, fp64, v, dev),
+                         iters * kRkSteps});
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(bool fp64,
+                                            const perf::device_spec& dev,
+                                            int size) {
+    const params p = params::preset(size);
+    return {detail::stats_copy(p, fp64),
+            detail::stats_step_factor(p, fp64, Variant::fpga_opt, dev),
+            detail::stats_flux(p, fp64, Variant::fpga_opt, dev),
+            detail::stats_time_step(p, fp64, Variant::fpga_opt, dev)};
+}
+
+}  // namespace altis::apps::cfd

@@ -1,0 +1,61 @@
+#include "apps/common/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace altis::apps {
+
+void write_ppm(const std::string& path, std::span<const rgb8> pixels,
+               std::size_t width, std::size_t height) {
+    if (pixels.size() != width * height)
+        throw std::invalid_argument("write_ppm: pixel count mismatch");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+    out << "P6\n" << width << ' ' << height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(pixels.data()),
+              static_cast<std::streamsize>(pixels.size() * sizeof(rgb8)));
+    if (!out) throw std::runtime_error("write_ppm: write failed: " + path);
+}
+
+std::vector<rgb8> read_ppm(const std::string& path, std::size_t& width,
+                           std::size_t& height) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+    std::string magic;
+    std::size_t maxval = 0;
+    in >> magic >> width >> height >> maxval;
+    if (magic != "P6" || maxval != 255)
+        throw std::runtime_error("read_ppm: unsupported PPM variant");
+    in.get();  // single whitespace after the header
+    std::vector<rgb8> pixels(width * height);
+    in.read(reinterpret_cast<char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size() * sizeof(rgb8)));
+    if (!in) throw std::runtime_error("read_ppm: truncated file");
+    return pixels;
+}
+
+rgb8 tonemap(float r, float g, float b) {
+    auto channel = [](float v) {
+        v = std::clamp(v, 0.0f, 1.0f);
+        return static_cast<std::uint8_t>(255.99f * std::sqrt(v));
+    };
+    return {channel(r), channel(g), channel(b)};
+}
+
+rgb8 escape_colormap(std::uint16_t iters, int max_iters) {
+    if (iters >= max_iters) return {0, 0, 0};  // interior of the set
+    const float t =
+        std::log1p(static_cast<float>(iters)) /
+        std::log1p(static_cast<float>(max_iters));
+    // A simple blue-gold ramp.
+    const float r = std::clamp(3.0f * t - 0.6f, 0.0f, 1.0f);
+    const float g = std::clamp(2.2f * t * t, 0.0f, 1.0f);
+    const float b = std::clamp(0.4f + 1.2f * t - 1.4f * t * t, 0.0f, 1.0f);
+    return {static_cast<std::uint8_t>(255.0f * r),
+            static_cast<std::uint8_t>(255.0f * g),
+            static_cast<std::uint8_t>(255.0f * b)};
+}
+
+}  // namespace altis::apps

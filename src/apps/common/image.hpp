@@ -1,0 +1,34 @@
+// Minimal image output: binary PPM (P6) writing plus the colormaps the
+// example renderers use. An open-source release of the suite ships visual
+// artifacts; these helpers keep that possible without any image library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace altis::apps {
+
+struct rgb8 {
+    std::uint8_t r = 0, g = 0, b = 0;
+    friend bool operator==(const rgb8&, const rgb8&) = default;
+};
+
+/// Writes a binary P6 PPM. Throws std::runtime_error on I/O failure.
+void write_ppm(const std::string& path, std::span<const rgb8> pixels,
+               std::size_t width, std::size_t height);
+
+/// Reads back a binary P6 PPM (for round-trip tests). Throws on malformed
+/// input. Returns pixels row-major; width/height via out-params.
+[[nodiscard]] std::vector<rgb8> read_ppm(const std::string& path,
+                                         std::size_t& width,
+                                         std::size_t& height);
+
+/// Gamma-2 tonemap from linear [0,1] color (the raytracer's output space).
+[[nodiscard]] rgb8 tonemap(float r, float g, float b);
+
+/// Smooth iteration-count colormap for Mandelbrot renders.
+[[nodiscard]] rgb8 escape_colormap(std::uint16_t iters, int max_iters);
+
+}  // namespace altis::apps

@@ -1,0 +1,76 @@
+#include "apps/common/region.hpp"
+
+#include <algorithm>
+
+#include "perf/model.hpp"
+#include "perf/resource_model.hpp"
+
+namespace altis::apps {
+
+double timed_region::total_launches() const {
+    double n = 0.0;
+    for (const auto& k : kernels) n += k.count;
+    for (const auto& g : dataflow)
+        n += g.count * static_cast<double>(g.kernels.size());
+    return n;
+}
+
+std::vector<perf::kernel_stats> timed_region::all_kernels() const {
+    std::vector<perf::kernel_stats> all;
+    for (const auto& k : kernels) all.push_back(k.stats);
+    for (const auto& g : dataflow)
+        all.insert(all.end(), g.kernels.begin(), g.kernels.end());
+    return all;
+}
+
+timing_estimate simulate_region(const timed_region& region,
+                                const perf::device_spec& dev,
+                                perf::runtime_kind rt) {
+    timing_estimate t;
+
+    double design_fmax = 0.0;
+    if (dev.is_fpga()) {
+        const auto design =
+            perf::estimate_design_resources(region.all_kernels(), dev);
+        design_fmax = design.fmax_mhz;
+    }
+    auto one_kernel_ns = [&](const perf::kernel_stats& k) {
+        return dev.is_fpga() ? perf::fpga_kernel_time_ns(k, dev, design_fmax)
+                             : perf::kernel_time_ns(k, dev);
+    };
+
+    const double launch = perf::launch_overhead_ns(rt, dev);
+
+    for (const auto& slot : region.kernels) {
+        t.kernel_ns += one_kernel_ns(slot.stats) * slot.count;
+        t.non_kernel_ns += launch * slot.count;
+    }
+    for (const auto& group : region.dataflow) {
+        double worst = 0.0;
+        for (const auto& k : group.kernels)
+            worst = std::max(worst, one_kernel_ns(k));
+        t.kernel_ns += worst * group.count;
+        t.non_kernel_ns +=
+            launch * group.count * static_cast<double>(group.kernels.size());
+    }
+
+    if (region.transfer_calls > 0.0) {
+        // Amortize the payload across the calls; transfer_ns adds the fixed
+        // per-call cost itself.
+        const double per_call = region.transfer_bytes / region.transfer_calls;
+        t.non_kernel_ns +=
+            perf::transfer_ns(rt, dev, per_call) * region.transfer_calls;
+    }
+    t.non_kernel_ns += perf::sync_overhead_ns(rt, dev) * region.syncs;
+    t.non_kernel_ns += region.extra_non_kernel_ns;
+    if (region.include_setup) t.non_kernel_ns += perf::setup_overhead_ns(rt, dev);
+
+    // An unsynchronized timed region only observes submission cost: the
+    // kernels are still in flight when the timer stops (FDTD2D's original
+    // CUDA mismeasurement, Sec. 3.3).
+    if (!region.synchronized) t.kernel_ns = 0.0;
+
+    return t;
+}
+
+}  // namespace altis::apps

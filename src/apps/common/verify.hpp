@@ -1,0 +1,54 @@
+// Output-verification helpers: every application run checks its device
+// results against the golden host reference before reporting timings.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace altis::apps {
+
+/// Maximum elementwise relative error (absolute fallback near zero).
+template <typename T>
+[[nodiscard]] double max_rel_error(std::span<const T> expected,
+                                   std::span<const T> actual) {
+    if (expected.size() != actual.size())
+        throw std::invalid_argument("max_rel_error: size mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const double e = static_cast<double>(expected[i]);
+        const double a = static_cast<double>(actual[i]);
+        const double denom = std::max(std::abs(e), 1.0);
+        worst = std::max(worst, std::abs(a - e) / denom);
+    }
+    return worst;
+}
+
+/// Exact-match count of mismatching elements (integer outputs).
+template <typename T>
+[[nodiscard]] std::size_t mismatch_count(std::span<const T> expected,
+                                         std::span<const T> actual) {
+    if (expected.size() != actual.size())
+        throw std::invalid_argument("mismatch_count: size mismatch");
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        if (expected[i] != actual[i]) ++bad;
+    return bad;
+}
+
+class verification_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Throws verification_error when err exceeds tol.
+inline void require_close(double err, double tol, const std::string& what) {
+    if (!(err <= tol))
+        throw verification_error(what + ": verification failed, error " +
+                                 std::to_string(err) + " > tol " +
+                                 std::to_string(tol));
+}
+
+}  // namespace altis::apps

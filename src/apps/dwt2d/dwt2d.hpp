@@ -1,0 +1,51 @@
+// DWT2D: 2D forward discrete wavelet transform (CDF 9/7 lifting scheme,
+// JPEG2000-style, 3 decomposition levels) from Altis Level-2. Paper roles:
+// the multiple-kernel-versions problem (Altis DWT2D has 14 kernels; only the
+// two needed for the default algorithm/input fit one FPGA bitstream, Sec. 4)
+// and the congested-shared-memory case the authors could not optimize -- on
+// FPGAs only a baseline is provided (Sec. 5.4), so DWT2D appears in Fig. 2
+// but not in Fig. 4/5.
+#pragma once
+
+#include <vector>
+
+#include "apps/common/app.hpp"
+#include "apps/common/region.hpp"
+
+namespace altis::apps::dwt2d {
+
+inline constexpr int kLevels = 3;
+inline constexpr int kTotalKernelVersions = 14;  ///< in the Altis codebase
+inline constexpr int kSynthesizedKernels = 2;    ///< selected per bitstream
+
+struct params {
+    std::size_t width = 1024;
+    std::size_t height = 1024;
+
+    [[nodiscard]] static params preset(int size);
+    [[nodiscard]] std::size_t pixels() const { return width * height; }
+};
+
+[[nodiscard]] std::vector<float> make_image(const params& p);
+
+/// Host reference: kLevels of 2D CDF 9/7 forward lifting, in place
+/// (LL quadrant recursion).
+void golden(const params& p, std::vector<float>& image);
+
+/// Inverse transform: undoes golden() exactly (the 9/7 lifting scheme is
+/// perfectly invertible up to floating-point rounding). Used by the
+/// reconstruction property tests.
+void inverse(const params& p, std::vector<float>& image);
+
+AppResult run(const RunConfig& cfg);
+
+[[nodiscard]] timed_region region(Variant v, const perf::device_spec& dev,
+                                  int size);
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design(
+    const perf::device_spec& dev, int size);
+
+inline constexpr const char* kFpgaImplLabel = "ND-Range (baseline only)";
+
+void register_app();
+
+}  // namespace altis::apps::dwt2d

@@ -1,0 +1,73 @@
+// Model descriptors for DWT2D: the congested shared-memory case the paper
+// could not optimize on FPGAs (baseline only, Sec. 5.4).
+#include "apps/dwt2d/dwt2d.hpp"
+
+namespace altis::apps::dwt2d {
+namespace detail {
+
+perf::kernel_stats stats_pass(const params& p, Variant v,
+                              const perf::device_spec& dev, std::size_t lines,
+                              std::size_t line_len, const char* name) {
+    (void)p;
+    perf::kernel_stats k;
+    k.name = name;
+    const std::size_t groups = lines / 64 + (lines % 64 ? 1 : 0);
+    k.global_items = static_cast<double>(groups * 64);
+    k.wg_size = 64;
+    const double n = static_cast<double>(line_len);
+    k.fp32_ops = n * 9.0;  // four lifting passes + scaling
+    k.int_ops = n * 6.0;
+    k.bytes_read = n * 4.0;
+    k.bytes_written = n * 4.0;
+    k.barriers = 4.0;  // between lifting passes in the tiled original
+    // The lifting tile interleaves even/odd strided accesses -- the
+    // congestion the paper reports as unremovable (Sec. 5.4).
+    k.pattern = perf::local_pattern::congested;
+    k.local_arrays = 2;
+    k.local_mem_bytes = n * 4.0 * 2.0;
+    k.local_accesses = n * 6.0;
+    k.dynamic_local_size = (v == Variant::sycl_base || v == Variant::fpga_base);
+    k.static_fp32_ops = 9;
+    k.static_int_ops = 22;
+    k.static_branches = 8;
+    k.accessor_args = 2;
+    k.control_complexity = 3;
+    (void)dev;
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    if (v == Variant::fpga_opt)
+        throw std::invalid_argument("dwt2d: no optimized FPGA version");
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.pixels()) * 4.0 * 2.0;
+    r.transfer_calls = 2.0;
+    r.syncs = 1.0;
+    std::size_t w = p.width, h = p.height;
+    for (int level = 0; level < kLevels; ++level) {
+        r.kernels.push_back(
+            {detail::stats_pass(p, v, dev, h, w, "fdwt97_h"), 1.0});
+        r.kernels.push_back(
+            {detail::stats_pass(p, v, dev, w, h, "fdwt97_v"), 1.0});
+        w /= 2;
+        h /= 2;
+    }
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    // Sec. 4: of the 14 kernel versions in Altis DWT2D, only the two needed
+    // for the default algorithm and the given input size are synthesized.
+    const params p = params::preset(size);
+    return {detail::stats_pass(p, Variant::fpga_base, dev, p.height, p.width,
+                               "fdwt97_h"),
+            detail::stats_pass(p, Variant::fpga_base, dev, p.width, p.height,
+                               "fdwt97_v")};
+}
+
+}  // namespace altis::apps::dwt2d

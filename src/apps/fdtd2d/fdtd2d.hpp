@@ -1,0 +1,53 @@
+// FDTD2D: 2D finite-difference time-domain Maxwell solver (TMz mode,
+// PolyBench-style ex/ey/hz update). Paper roles: Figure 1's kernel vs
+// non-kernel execution-time decomposition on the RTX 2080 (the SYCL runtime
+// pays ~12x the per-launch cost of CUDA across thousands of time-step
+// launches), and the missing-cudaDeviceSynchronize mistiming of the original
+// CUDA code (Sec. 3.3) that made the Fig. 2 baseline speedups collapse to
+// 0.01-0.1x before the fix.
+#pragma once
+
+#include <vector>
+
+#include "apps/common/app.hpp"
+#include "apps/common/region.hpp"
+
+namespace altis::apps::fdtd2d {
+
+struct params {
+    std::size_t nx = 256;
+    std::size_t ny = 256;
+    int steps = 60;
+
+    [[nodiscard]] static params preset(int size);
+    [[nodiscard]] std::size_t cells() const { return nx * ny; }
+};
+
+struct fields {
+    std::vector<float> ex, ey, hz;  ///< nx x ny row-major each
+};
+
+/// Initial condition (deterministic ramp) shared by golden and kernels.
+[[nodiscard]] fields initial_fields(const params& p);
+
+/// Host reference: `steps` leapfrog updates.
+void golden(const params& p, fields& f);
+
+AppResult run(const RunConfig& cfg);
+
+[[nodiscard]] timed_region region(Variant v, const perf::device_spec& dev,
+                                  int size);
+
+/// The original CUDA timing bug: no device synchronization before stopping
+/// the timer, so the timed region sees only submission cost (Sec. 3.3).
+[[nodiscard]] timed_region region_cuda_mistimed(const perf::device_spec& dev,
+                                                int size);
+
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design(
+    const perf::device_spec& dev, int size);
+
+inline constexpr const char* kFpgaImplLabel = "ND-Range";
+
+void register_app();
+
+}  // namespace altis::apps::fdtd2d

@@ -1,0 +1,73 @@
+// Model descriptors for FDTD2D. The region is dominated by launch count
+// (3 kernels x steps), which is exactly what Figure 1 decomposes.
+#include "apps/fdtd2d/fdtd2d.hpp"
+
+namespace altis::apps::fdtd2d {
+namespace detail {
+
+perf::kernel_stats stats_step(const params& p, const char* name, Variant v,
+                              const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = name;
+    k.global_items = static_cast<double>(p.cells());
+    k.wg_size = dev.is_fpga() ? 128 : 256;
+    k.fp32_ops = 5.0;
+    k.int_ops = 8.0;
+    // Compulsory traffic per cell: one field updated in place plus one or
+    // two neighbour arrays (stencil reuse hits cache / on-chip buffers).
+    k.bytes_read = 8.0;
+    k.bytes_written = 4.0;
+    k.static_fp32_ops = 5;
+    k.static_int_ops = 12;
+    k.static_branches = 2;
+    k.accessor_args = 2;
+    k.control_complexity = 1;
+    if (v == Variant::fpga_opt) {
+        // Sec. 5.2: vectorize via [[intel::num_simd_work_items]], denote
+        // non-aliasing pointers, unroll the small update expression.
+        k.simd = 4;
+        k.unroll = 2;
+        k.args_restrict = true;
+    }
+    return k;
+}
+
+}  // namespace detail
+
+namespace {
+
+timed_region make_region(Variant v, const perf::device_spec& dev, int size,
+                         bool synchronized) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.cells()) * 4.0 * 4.0;  // 3 H2D + 1 D2H
+    r.transfer_calls = 4.0;
+    r.syncs = synchronized ? 1.0 : 0.0;
+    r.synchronized = synchronized;
+    const double steps = static_cast<double>(p.steps);
+    r.kernels.push_back({detail::stats_step(p, "fdtd_ey", v, dev), steps});
+    r.kernels.push_back({detail::stats_step(p, "fdtd_ex", v, dev), steps});
+    r.kernels.push_back({detail::stats_step(p, "fdtd_hz", v, dev), steps});
+    return r;
+}
+
+}  // namespace
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    return make_region(v, dev, size, /*synchronized=*/true);
+}
+
+timed_region region_cuda_mistimed(const perf::device_spec& dev, int size) {
+    return make_region(Variant::cuda, dev, size, /*synchronized=*/false);
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    const params p = params::preset(size);
+    return {detail::stats_step(p, "fdtd_ey", Variant::fpga_opt, dev),
+            detail::stats_step(p, "fdtd_ex", Variant::fpga_opt, dev),
+            detail::stats_step(p, "fdtd_hz", Variant::fpga_opt, dev)};
+}
+
+}  // namespace altis::apps::fdtd2d

@@ -1,0 +1,55 @@
+// KMeans: Lloyd clustering (Altis Level-2, data-mining workload). Paper
+// roles: the headline pipe/dataflow optimization of Fig. 3 -- the baseline
+// FPGA design launches mapCenters/reset/accumulate/finalize per iteration
+// through global memory; the optimized design fuses reset+accumulate+
+// finalize into `resetAccFin`, streams every point's mapping through a pipe
+// and feeds the new centers back through a second pipe, for a ~510x speedup
+// (Fig. 4) -- and the Single-Task implementation row of Table 3.
+#pragma once
+
+#include <vector>
+
+#include "apps/common/app.hpp"
+#include "apps/common/region.hpp"
+
+namespace altis::apps::kmeans {
+
+struct params {
+    std::size_t n = 4096;   ///< points
+    std::size_t d = 8;      ///< features per point
+    std::size_t k = 8;      ///< clusters
+    int iterations = 150;   ///< fixed Lloyd iterations (Altis-style max)
+    std::uint64_t seed = 0xC1D2ULL;
+
+    [[nodiscard]] static params preset(int size);
+};
+
+struct dataset {
+    std::vector<float> points;           ///< n x d row-major
+    std::vector<float> initial_centers;  ///< k x d (first k points)
+};
+
+struct clustering {
+    std::vector<float> centers;  ///< k x d
+    std::vector<int> assignment; ///< n
+};
+
+/// Deterministic synthetic dataset: k Gaussian-ish blobs.
+[[nodiscard]] dataset make_dataset(const params& p);
+
+/// Host reference Lloyd iterations (sequential accumulation order -- the
+/// same order the Single-Task FPGA kernels use).
+[[nodiscard]] clustering golden(const params& p, const dataset& data);
+
+AppResult run(const RunConfig& cfg);
+
+[[nodiscard]] timed_region region(Variant v, const perf::device_spec& dev,
+                                  int size);
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design(
+    const perf::device_spec& dev, int size);
+
+inline constexpr const char* kFpgaImplLabel = "Single-Task";
+
+void register_app();
+
+}  // namespace altis::apps::kmeans

@@ -1,0 +1,187 @@
+// Model descriptors for KMeans. The baseline launches 4 kernels x
+// `iterations` through global memory; the optimized design is one dataflow
+// launch of two Single-Task kernels for the whole clustering (Fig. 3).
+#include "apps/kmeans/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace altis::apps::kmeans {
+namespace detail {
+
+perf::kernel_stats stats_map_nd(const params& p, const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "kmeans_mapCenters_nd";
+    k.global_items = static_cast<double>(p.n);
+    k.wg_size = dev.is_fpga() ? 64 : 256;
+    const double kd = static_cast<double>(p.k * p.d);
+    k.fp32_ops = kd * 3.0;             // sub, mul, add per feature per center
+    k.int_ops = static_cast<double>(p.k) * 2.0;
+    // The DPCT ND-Range kernel iterates centers x features serially with a
+    // loop-carried distance accumulator: each feature's FMA waits on the
+    // previous one's result (~4-cycle FP32 add latency) on an FPGA datapath.
+    // (The optimized design escapes this via the Single-Task rewrite with a
+    // d-parallel MAC array; Fig. 3/4's ~510x.)
+    k.dep_chain_cycles = static_cast<double>(p.k * p.d) * 3.0;
+    k.bytes_read = static_cast<double>(p.d) * 4.0 + kd * 4.0 / 64.0;  // centers cached
+    k.bytes_written = 4.0;
+    k.static_fp32_ops = static_cast<double>(p.d) * 3.0;
+    k.static_int_ops = 20;
+    k.static_branches = 3;
+    k.accessor_args = 3;
+    k.control_complexity = 2;
+    return k;
+}
+
+perf::kernel_stats stats_reset_nd(const params& p) {
+    perf::kernel_stats k;
+    k.name = "kmeans_reset_nd";
+    k.global_items = static_cast<double>(p.k * p.d);
+    k.wg_size = std::min<std::size_t>(p.k * p.d, 64);
+    k.int_ops = 2.0;
+    k.bytes_written = 4.0;
+    k.static_int_ops = 4;
+    k.accessor_args = 2;
+    k.control_complexity = 1;
+    return k;
+}
+
+perf::kernel_stats stats_accumulate_nd(const params& p) {
+    perf::kernel_stats k;
+    k.name = "kmeans_accumulate_nd";
+    // Launch geometry: one work-item per 512-point chunk (matches the
+    // hierarchical launch in kmeans.cpp); per-item costs are per-chunk.
+    const double chunk = 512.0;
+    const double chunks = std::ceil(static_cast<double>(p.n) / chunk);
+    k.global_items = chunks;
+    k.wg_size = 1;
+    k.fp32_ops = static_cast<double>(p.d) * chunk;
+    k.int_ops = 6.0 * chunk;
+    k.bytes_read = (static_cast<double>(p.d) * 4.0 + 4.0) * chunk;
+    k.bytes_written = static_cast<double>(p.k * p.d) * 4.0 + p.k * 4.0;
+    k.barriers = 1.0;
+    // Scattered accumulation into per-group partial arrays: irregular local
+    // access the FPGA compiler arbitrates.
+    k.pattern = perf::local_pattern::congested;
+    k.local_arrays = 2;
+    k.local_mem_bytes = static_cast<double>(p.k * p.d) * 4.0 + p.k * 4.0;
+    k.local_accesses = (static_cast<double>(p.d) + 1.0) * 512.0;
+    k.dynamic_local_size = true;  // DPCT accessors in the migrated version
+    k.static_fp32_ops = static_cast<double>(p.d);
+    k.static_int_ops = 16;
+    k.static_branches = 4;
+    k.accessor_args = 4;
+    k.control_complexity = 3;
+    return k;
+}
+
+perf::kernel_stats stats_finalize_nd(const params& p) {
+    perf::kernel_stats k;
+    k.name = "kmeans_finalize_nd";
+    k.global_items = static_cast<double>(p.k);
+    k.wg_size = 1;
+    const double chunks = std::ceil(static_cast<double>(p.n) / 512.0);
+    k.fp32_ops = chunks * static_cast<double>(p.d) + static_cast<double>(p.d);
+    k.int_ops = chunks;
+    k.bytes_read = chunks * (static_cast<double>(p.d) * 4.0 + 4.0);
+    k.bytes_written = static_cast<double>(p.d) * 4.0;
+    k.static_fp32_ops = static_cast<double>(p.d);
+    k.static_int_ops = 10;
+    k.static_branches = 3;
+    k.accessor_args = 3;
+    k.control_complexity = 2;
+    return k;
+}
+
+perf::kernel_stats stats_map_st(const params& p, const perf::device_spec& dev) {
+    (void)dev;
+    perf::kernel_stats k;
+    k.name = "kmeans_mapCenters_st";
+    k.form = perf::kernel_form::single_task;
+    const double n = static_cast<double>(p.n);
+    const double iters = static_cast<double>(p.iterations);
+    // The only kernel touching global memory in the optimized design.
+    k.bytes_read = n * static_cast<double>(p.d) * 4.0 * iters +
+                   static_cast<double>(p.k * p.d) * 4.0;
+    k.bytes_written = n * 4.0;  // final assignments
+    k.writes_pipe = true;
+    k.reads_pipe = true;  // center feedback
+    k.args_restrict = true;
+    k.accessor_args = 3;
+    k.static_fp32_ops = static_cast<double>(p.d) * 3.0;  // d-parallel MAC array
+    k.static_int_ops = 24;
+    k.static_branches = 4;
+    k.control_complexity = 2;
+    perf::loop_info loop;
+    loop.name = "points_x_centers";
+    // One candidate center per cycle per lane, 8 center lanes unrolled,
+    // each with a d-parallel MAC array (no loop-carried chain).
+    loop.trip_count = n * static_cast<double>(p.k) * iters;
+    loop.entries = iters;
+    loop.initiation_interval = 1;
+    loop.unroll = 8;
+    loop.speculated_iterations = 2;
+    k.loops.push_back(loop);
+    return k;
+}
+
+perf::kernel_stats stats_resetaccfin_st(const params& p,
+                                        const perf::device_spec& dev) {
+    (void)dev;
+    perf::kernel_stats k;
+    k.name = "kmeans_resetAccFin_st";
+    k.form = perf::kernel_form::single_task;
+    k.bytes_read = static_cast<double>(p.k * p.d) * 4.0;
+    k.bytes_written = static_cast<double>(p.k * p.d) * 4.0;
+    k.reads_pipe = true;
+    k.writes_pipe = true;
+    k.args_restrict = true;
+    k.accessor_args = 1;
+    k.static_fp32_ops = static_cast<double>(p.d) + 1.0;  // d-parallel adds + div
+    k.static_int_ops = 16;
+    k.static_branches = 3;
+    k.control_complexity = 2;
+    perf::loop_info loop;
+    loop.name = "accumulate";
+    loop.trip_count =
+        static_cast<double>(p.n) * static_cast<double>(p.iterations);
+    loop.entries = static_cast<double>(p.iterations);
+    loop.initiation_interval = 1;  // d-wide accumulators, one point per cycle
+    loop.unroll = 1;
+    loop.speculated_iterations = 2;
+    k.loops.push_back(loop);
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.n * p.d) * 4.0 +   // points H2D
+                       static_cast<double>(p.k * p.d) * 4.0 * 2.0 +  // centers
+                       static_cast<double>(p.n) * 4.0;          // assignment D2H
+    r.transfer_calls = 4.0;
+    r.syncs = 1.0;
+    const double iters = static_cast<double>(p.iterations);
+    if (v == Variant::fpga_opt) {
+        r.dataflow.push_back(
+            {{detail::stats_map_st(p, dev), detail::stats_resetaccfin_st(p, dev)},
+             1.0});
+    } else {
+        r.kernels.push_back({detail::stats_map_nd(p, dev), iters});
+        r.kernels.push_back({detail::stats_reset_nd(p), iters});
+        r.kernels.push_back({detail::stats_accumulate_nd(p), iters});
+        r.kernels.push_back({detail::stats_finalize_nd(p), iters});
+    }
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    const params p = params::preset(size);
+    return {detail::stats_map_st(p, dev), detail::stats_resetaccfin_st(p, dev)};
+}
+
+}  // namespace altis::apps::kmeans

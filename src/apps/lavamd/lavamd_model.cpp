@@ -1,0 +1,63 @@
+// Model descriptors for LavaMD: banked shared-memory inner loop, unrolled
+// 30x on Stratix 10 / 16x on Agilex (Sec. 5.2 case 1, Sec. 5.5).
+#include "apps/lavamd/lavamd.hpp"
+
+#include <cmath>
+
+namespace altis::apps::lavamd {
+namespace detail {
+
+perf::kernel_stats stats_boxes(const params& p, Variant v,
+                               const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "lavamd_boxes";
+    k.global_items = static_cast<double>(p.particles());
+    k.wg_size = kParPerBox;
+    // ~26 neighbour visits per interior box on average; use the exact count.
+    const double n1 = static_cast<double>(p.boxes1d);
+    const double neighbor_visits =
+        std::pow(3.0 * n1 - 2.0, 3.0) / (n1 * n1 * n1);  // avg neighbours/box
+    const double pairs = neighbor_visits * static_cast<double>(kParPerBox);
+    k.fp32_ops = pairs * 16.0;
+    k.sfu_ops = pairs;  // one exp per pair
+    k.int_ops = pairs * 2.0;
+    k.bytes_read = neighbor_visits * 16.0 / 4.0 + 16.0;  // rB loads amortized
+    k.bytes_written = 16.0;
+    k.barriers = neighbor_visits * 2.0;
+    k.pattern = perf::local_pattern::banked;  // stride-1: banks/replicates
+    k.local_arrays = 3;                       // rA, rB, acc
+    k.local_mem_bytes = 3.0 * kParPerBox * 16.0;
+    k.local_accesses = pairs;  // rB[j]; rA/acc live in registers
+    k.dynamic_local_size = (v == Variant::sycl_base || v == Variant::fpga_base);
+    k.static_fp32_ops = 16;
+    k.static_int_ops = 26;
+    k.static_branches = 6;
+    k.accessor_args = 2;
+    k.control_complexity = 2;
+    if (v == Variant::fpga_opt) {
+        // The 30x / 16x unroll of the neighbour-particle loop.
+        k.unroll = dev.name != "stratix_10" ? 16 : 30;
+        k.args_restrict = true;
+    }
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.particles()) * 16.0 * 2.0;
+    r.transfer_calls = 2.0;
+    r.syncs = 1.0;
+    r.kernels.push_back({detail::stats_boxes(p, v, dev), 1.0});
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    return {detail::stats_boxes(params::preset(size), Variant::fpga_opt, dev)};
+}
+
+}  // namespace altis::apps::lavamd

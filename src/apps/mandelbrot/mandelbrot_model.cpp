@@ -1,0 +1,112 @@
+// Model descriptors for Mandelbrot's implementation variants. Dynamic trip
+// counts come from mean_iterations() (a deterministic 128x128 probe of the
+// same complex window -- escape statistics are resolution-independent).
+#include "apps/mandelbrot/mandelbrot.hpp"
+
+namespace altis::apps::mandelbrot {
+namespace detail {
+
+namespace {
+
+// FP32 latency of the z = z^2 + c chain: the serial recurrence no FPGA
+// datapath can pipeline away within one pixel.
+constexpr double kChainLatency = 6.0;
+
+struct tuning {
+    int interleave;  // independent pixel chains in flight (single-task)
+    int cus;         // compute-unit replication
+};
+
+// Per-size bitstream tuning (Table 3 lists three Mandelbrot rows; Sec. 5.5
+// scales factors down when retargeting the smaller Agilex).
+tuning fpga_tuning(const perf::device_spec& dev, int size) {
+    const bool s10 = dev.name == "stratix_10";
+    switch (size) {
+        case 1: return s10 ? tuning{20, 8} : tuning{16, 6};
+        case 2: return s10 ? tuning{40, 10} : tuning{25, 8};
+        case 3: return s10 ? tuning{40, 10} : tuning{25, 8};
+        default: throw std::invalid_argument("mandelbrot: size must be 1..3");
+    }
+}
+
+}  // namespace
+
+perf::kernel_stats stats_nd(const params& p, Variant v,
+                            const perf::device_spec& dev) {
+    (void)dev;
+    const double iters = mean_iterations(p);
+    perf::kernel_stats k;
+    k.name = "mandelbrot_nd";
+    k.form = perf::kernel_form::nd_range;
+    k.global_items = static_cast<double>(p.pixels());
+    k.wg_size = (v == Variant::fpga_base) ? 128 : 256;
+    k.fp32_ops = iters * 8.0 + 10.0;
+    k.int_ops = iters * 2.0 + 8.0;
+    k.bytes_written = 2.0;
+    k.divergence = 0.55;  // escape counts vary wildly between neighbours
+    k.dep_chain_cycles = iters * kChainLatency;
+    k.static_fp32_ops = 10;
+    k.static_int_ops = 14;
+    k.static_branches = 3;
+    k.control_complexity = 3;  // data-dependent escape-loop exit
+    k.accessor_args = 1;
+    return k;
+}
+
+perf::kernel_stats stats_single_task(const params& p,
+                                     const perf::device_spec& dev, int size) {
+    const double iters = mean_iterations(p);
+    const double pixels = static_cast<double>(p.pixels());
+    const tuning t = fpga_tuning(dev, size);
+
+    perf::kernel_stats k;
+    k.name = "mandelbrot_st";
+    k.form = perf::kernel_form::single_task;
+    k.bytes_written = 2.0 * pixels;
+    k.static_fp32_ops = 10;
+    k.static_int_ops = 18;
+    k.static_branches = 4;
+    k.control_complexity = 2;  // exit test moved off the critical path
+    k.accessor_args = 1;
+    k.args_restrict = true;
+    k.replication = t.cus;
+
+    // Escape loop: II equals the chain latency, but `interleave` independent
+    // pixel chains share the pipeline, so effective throughput is
+    // interleave/II iterations per cycle (the functional kernel literally
+    // interleaves that many pixels).
+    perf::loop_info escape;
+    escape.name = "escape";
+    escape.trip_count = iters * pixels;
+    escape.entries = pixels / static_cast<double>(t.interleave);
+    escape.initiation_interval = static_cast<int>(kChainLatency);
+    escape.unroll = t.interleave;  // cycles = trips * II / interleave
+    // Sec. 5.3: [[intel::speculated_iterations]] lowered from the default 4;
+    // with 8192-iteration nested loops the discarded work is the headline.
+    escape.speculated_iterations = 1;
+    k.loops.push_back(escape);
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.pixels()) * 2.0;  // result D2H
+    r.transfer_calls = 1.0;
+    r.syncs = 1.0;
+    if (v == Variant::fpga_opt)
+        r.kernels.push_back({detail::stats_single_task(p, dev, size), 1.0});
+    else
+        r.kernels.push_back({detail::stats_nd(p, v, dev), 1.0});
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    return {detail::stats_single_task(params::preset(size), dev, size)};
+}
+
+}  // namespace altis::apps::mandelbrot

@@ -1,0 +1,86 @@
+// Model descriptors for NW. Each anti-diagonal is one launch (2*nb - 1 of
+// them), so small problem sizes are dominated by launch overhead on GPUs,
+// while on FPGAs the arbitrated local-memory tile throttles the pipeline.
+#include "apps/nw/nw.hpp"
+
+#include <algorithm>
+
+namespace altis::apps::nw {
+namespace detail {
+
+perf::kernel_stats stats_diag(const params& p, Variant v,
+                              const perf::device_spec& dev, double avg_blocks) {
+    (void)p;
+    perf::kernel_stats k;
+    k.name = "nw_diagonal";
+    k.global_items = avg_blocks * kTile;
+    k.wg_size = kTile;
+    const double t = kTile;
+    // Per work-item (one tile row): 3 max-candidates per cell over t cells.
+    k.int_ops = 8.0 * t;
+    k.bytes_read = ((t + 1.0) * 2.0 * 4.0 + 2.0 * t) / 1.0;  // boundaries + seqs
+    k.bytes_written = t * 4.0;
+    k.barriers = 2.0 * t - 1.0;
+    // The (kTile+1)^2 tile with diagonal-wavefront indexing: the FPGA
+    // compiler cannot bank it and inserts stall-capable arbiters (Sec. 5.2
+    // case 3); unrolling is not an option (timing violations).
+    k.pattern = perf::local_pattern::congested;
+    k.local_arrays = 1;
+    k.local_mem_bytes = (t + 1.0) * (t + 1.0) * 4.0;
+    k.local_accesses = 4.0 * t;
+    k.dynamic_local_size = (v == Variant::sycl_base || v == Variant::fpga_base);
+    k.static_int_ops = 40;
+    k.static_branches = 8;
+    k.accessor_args = 3;
+    k.control_complexity = 3;
+    k.divergence = 0.3;  // wavefront edge threads idle per phase
+
+    if (v == Variant::sycl_base) {
+        // Sec. 3.3: without -finlining-threshold the similarity/max helper
+        // calls stay un-inlined: double the dynamic instruction stream and,
+        // through register pressure, halved SM occupancy (the paper
+        // recovered up to 2x for NW by raising the threshold).
+        k.int_ops *= 2.0;
+        k.divergence = 0.45;
+        k.occupancy = 0.5;
+    }
+    if (v == Variant::fpga_opt) {
+        // Sec. 5.5: 16x compute units on Stratix 10, scaled down to 8x on
+        // the smaller Agilex.
+        k.replication = dev.name != "stratix_10" ? 8 : 16;
+        k.args_restrict = true;
+    }
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    const double m = static_cast<double>(p.n + 1);
+    r.transfer_bytes = m * m * 4.0 * 2.0 + 2.0 * static_cast<double>(p.n);
+    r.transfer_calls = 4.0;
+    r.syncs = 1.0;
+    // One slot per anti-diagonal, mirroring the launch sequence exactly
+    // (diagonal lengths vary, and per-launch floors are nonlinear in them).
+    const std::size_t nb = p.blocks();
+    for (std::size_t d = 0; d < 2 * nb - 1; ++d) {
+        const std::size_t first = d < nb ? 0 : d - nb + 1;
+        const std::size_t count = std::min(d, nb - 1) - first + 1;
+        r.kernels.push_back(
+            {detail::stats_diag(p, v, dev, static_cast<double>(count)), 1.0});
+    }
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    const params p = params::preset(size);
+    const double nb = static_cast<double>(p.blocks());
+    return {detail::stats_diag(p, Variant::fpga_opt, dev,
+                               nb * nb / (2.0 * nb - 1.0))};
+}
+
+}  // namespace altis::apps::nw

@@ -1,0 +1,36 @@
+#include "apps/common/app.hpp"
+
+namespace altis::apps {
+
+namespace cfd { void register_apps(); }
+namespace dwt2d { void register_app(); }
+namespace fdtd2d { void register_app(); }
+namespace kmeans { void register_app(); }
+namespace lavamd { void register_app(); }
+namespace mandelbrot { void register_app(); }
+namespace nw { void register_app(); }
+namespace particlefilter { void register_apps(); }
+namespace raytracing { void register_app(); }
+namespace srad { void register_app(); }
+namespace where { void register_app(); }
+
+void register_all_apps() {
+    // Registration order matches Table 1 (CFD first, Where last).
+    static const bool done = [] {
+        cfd::register_apps();
+        dwt2d::register_app();
+        fdtd2d::register_app();
+        kmeans::register_app();
+        lavamd::register_app();
+        mandelbrot::register_app();
+        nw::register_app();
+        particlefilter::register_apps();
+        raytracing::register_app();
+        srad::register_app();
+        where::register_app();
+        return true;
+    }();
+    (void)done;
+}
+
+}  // namespace altis::apps

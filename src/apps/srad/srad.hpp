@@ -1,0 +1,49 @@
+// SRAD: Speckle-Reducing Anisotropic Diffusion (Altis Level-2; ultrasound
+// image denoising PDE). Two stencil kernels per iteration plus a statistics
+// reduction. Paper roles: the eleven shared arrays whose accessor-object
+// arguments exceeded the Stratix 10 until pointers were passed instead
+// (Sec. 4), the work-group-size/SIMD trade-off (64x64 @ SIMD 2 is ~4x faster
+// than 16x16 @ SIMD 8, Sec. 5.2 case 2), the 16->32 work-group retune on
+// Agilex (Sec. 5.5), and the Single-Task implementation row of Table 3.
+#pragma once
+
+#include <vector>
+
+#include "apps/common/app.hpp"
+#include "apps/common/region.hpp"
+
+namespace altis::apps::srad {
+
+struct params {
+    std::size_t rows = 256;
+    std::size_t cols = 256;
+    int iterations = 50;
+    float lambda = 0.5f;
+
+    [[nodiscard]] static params preset(int size);
+    [[nodiscard]] std::size_t cells() const { return rows * cols; }
+};
+
+/// Deterministic synthetic speckled image, values in (0, 1].
+[[nodiscard]] std::vector<float> make_image(const params& p);
+
+/// Host reference: `iterations` diffusion steps in place.
+void golden(const params& p, std::vector<float>& image);
+
+AppResult run(const RunConfig& cfg);
+
+[[nodiscard]] timed_region region(Variant v, const perf::device_spec& dev,
+                                  int size);
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design(
+    const perf::device_spec& dev, int size);
+
+/// The pre-refactoring SRAD kernel set that passed eleven accessor objects
+/// (Sec. 4) -- kept to demonstrate the placement failure on Stratix 10.
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design_accessor_objects(
+    const perf::device_spec& dev, int size);
+
+inline constexpr const char* kFpgaImplLabel = "Single-Task";
+
+void register_app();
+
+}  // namespace altis::apps::srad

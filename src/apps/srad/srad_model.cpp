@@ -1,0 +1,163 @@
+// Model descriptors for SRAD: the eleven-shared-array kernels of Sec. 4/5.2.
+#include "apps/srad/srad.hpp"
+
+#include <cmath>
+
+namespace altis::apps::srad {
+namespace detail {
+
+perf::kernel_stats stats_reduce(const params& p) {
+    perf::kernel_stats k;
+    k.name = "srad_reduce";
+    const double chunk = 1024.0;
+    k.global_items = std::ceil(static_cast<double>(p.cells()) / chunk);
+    k.wg_size = 1;
+    k.fp32_ops = 3.0 * chunk;
+    k.bytes_read = 4.0 * chunk;
+    k.bytes_written = 8.0;
+    k.barriers = 1.0;
+    k.pattern = perf::local_pattern::scalar;  // register accumulators
+    k.local_arrays = 1;
+    k.local_mem_bytes = 8.0;
+    k.local_accesses = 2.0;
+    k.static_fp32_ops = 3;
+    k.static_int_ops = 8;
+    k.static_branches = 2;
+    k.accessor_args = 2;
+    k.control_complexity = 1;
+    return k;
+}
+
+namespace {
+
+// Shared local-memory structure of the srad1/srad2 tiles: 5-6 shared arrays
+// each (J tile, c tile, four derivative tiles) -- eleven across the design.
+void apply_tile_structure(perf::kernel_stats& k, int arrays, Variant v,
+                          const perf::device_spec& dev) {
+    k.pattern = perf::local_pattern::banked;
+    k.local_arrays = arrays;
+    const double wg = (v == Variant::fpga_opt || !dev.is_fpga())
+                          ? k.wg_size
+                          : 64.0;
+    k.local_mem_bytes = static_cast<double>(arrays) * wg * 4.0;
+    k.local_accesses = static_cast<double>(arrays) * 1.0;
+    // DPCT-migrated accessors are dynamically sized until the
+    // group_local_memory_for_overwrite rewrite (Sec. 5.2).
+    k.dynamic_local_size = (v == Variant::sycl_base || v == Variant::fpga_base);
+}
+
+}  // namespace
+
+perf::kernel_stats stats_srad1(const params& p, Variant v,
+                               const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "srad1";
+    k.global_items = static_cast<double>(p.cells());
+    k.wg_size = dev.is_fpga() ? 64 : 256;
+    k.fp32_ops = 30.0;
+    k.sfu_ops = 1.0;  // the reciprocal in the coefficient
+    k.int_ops = 14.0;
+    k.bytes_read = 4.0 * 2.0;        // J + halo (cached)
+    k.bytes_written = 4.0 * 5.0;     // c + 4 derivative arrays
+    k.static_fp32_ops = 30;
+    k.static_int_ops = 24;
+    k.static_branches = 8;
+    k.accessor_args = 6;
+    k.control_complexity = 3;
+    apply_tile_structure(k, 6, v, dev);
+    if (v == Variant::fpga_base) k.unroll = 1;
+    return k;
+}
+
+perf::kernel_stats stats_srad2(const params& p, Variant v,
+                               const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "srad2";
+    k.global_items = static_cast<double>(p.cells());
+    k.wg_size = dev.is_fpga() ? 64 : 256;
+    k.fp32_ops = 12.0;
+    k.int_ops = 10.0;
+    k.bytes_read = 4.0 * 6.0;  // c + 4 derivatives + J
+    k.bytes_written = 4.0;
+    k.static_fp32_ops = 12;
+    k.static_int_ops = 18;
+    k.static_branches = 6;
+    k.accessor_args = 6;
+    k.control_complexity = 2;
+    apply_tile_structure(k, 5, v, dev);
+    return k;
+}
+
+perf::kernel_stats stats_srad_st(const params& p,
+                                 const perf::device_spec& dev) {
+    perf::kernel_stats k;
+    k.name = "srad_st";
+    k.form = perf::kernel_form::single_task;
+    const double cells = static_cast<double>(p.cells());
+    k.bytes_read = cells * 4.0 * 3.0;
+    k.bytes_written = cells * 4.0 * 3.0;
+    k.args_restrict = true;
+    k.accessor_args = 6;  // pointers, not accessor objects (Sec. 4)
+    k.static_fp32_ops = 42;
+    k.static_int_ops = 30;
+    k.static_branches = 8;
+    k.control_complexity = 2;
+    // Line-buffered stencil: the row buffers are exactly sized.
+    k.pattern = perf::local_pattern::banked;
+    k.local_arrays = 3;
+    k.local_mem_bytes = static_cast<double>(p.cols) * 4.0 * 3.0;
+    // Line-buffered window processes several columns per cycle; the window
+    // parameter doubles 16 -> 32 on Agilex (Sec. 5.5).
+    k.unroll = dev.name != "stratix_10" ? 8 : 4;
+    perf::loop_info loop;
+    loop.name = "cells";
+    loop.trip_count = cells;
+    loop.entries = static_cast<double>(p.rows);
+    loop.initiation_interval = 1;
+    loop.speculated_iterations = 2;
+    loop.unroll = dev.name != "stratix_10" ? 8 : 4;
+    k.loops.push_back(loop);
+    return k;
+}
+
+}  // namespace detail
+
+timed_region region(Variant v, const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    timed_region r;
+    r.include_setup = false;  // timed region excludes one-time setup (warm-up)
+    r.transfer_bytes = static_cast<double>(p.cells()) * 4.0 * 2.0 +
+                       static_cast<double>(p.iterations) * 8.0;
+    r.transfer_calls = 2.0 + static_cast<double>(p.iterations);
+    r.syncs = 1.0;
+    const double iters = static_cast<double>(p.iterations);
+    r.kernels.push_back({detail::stats_reduce(p), iters});
+    if (v == Variant::fpga_opt) {
+        r.kernels.push_back({detail::stats_srad_st(p, dev), 2.0 * iters});
+    } else {
+        r.kernels.push_back({detail::stats_srad1(p, v, dev), iters});
+        r.kernels.push_back({detail::stats_srad2(p, v, dev), iters});
+    }
+    return r;
+}
+
+std::vector<perf::kernel_stats> fpga_design(const perf::device_spec& dev,
+                                            int size) {
+    const params p = params::preset(size);
+    return {detail::stats_reduce(p), detail::stats_srad_st(p, dev)};
+}
+
+std::vector<perf::kernel_stats> fpga_design_accessor_objects(
+    const perf::device_spec& dev, int size) {
+    const params p = params::preset(size);
+    auto k1 = detail::stats_srad1(p, Variant::fpga_base, dev);
+    auto k2 = detail::stats_srad2(p, Variant::fpga_base, dev);
+    // Eleven accessor objects across the two kernels (Sec. 4).
+    k1.pass_accessor_objects = true;
+    k2.pass_accessor_objects = true;
+    k1.accessor_args = 6;
+    k2.accessor_args = 5;
+    return {k1, k2};
+}
+
+}  // namespace altis::apps::srad

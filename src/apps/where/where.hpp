@@ -1,0 +1,56 @@
+// Where: record filtering for data analytics (Altis Level-2). Selects the
+// records of a table matching a predicate, using the classic mark -> prefix
+// sum -> scatter pipeline. Paper roles: the oneDPL prefix-sum being 50%
+// slower than CUDA's on the RTX 2080 (Sec. 3.3, the only app whose GPU
+// speedup stays at ~0.3x), the custom Single-Task FPGA scan of Listing 2
+// (Sec. 5.3), compute-unit replication retuning 2x->4x and 20x->25x between
+// Stratix 10 and Agilex (Sec. 5.5), and the documented size-3 crash on
+// Agilex (Fig. 5 omits those bars).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/common/app.hpp"
+#include "apps/common/region.hpp"
+
+namespace altis::apps::where {
+
+struct record {
+    std::int32_t key = 0;
+    std::int32_t payload = 0;
+    friend bool operator==(const record&, const record&) = default;
+};
+
+struct params {
+    std::size_t n = 1 << 20;
+    std::int32_t threshold = 0;  ///< select records with key < threshold
+    std::uint64_t seed = 0x5eedULL;
+
+    [[nodiscard]] static params preset(int size);
+};
+
+/// Deterministic synthetic table (keys uniform in [0, 2^20)).
+[[nodiscard]] std::vector<record> make_table(const params& p);
+
+/// Host reference: records matching key < threshold, in input order.
+[[nodiscard]] std::vector<record> golden(const params& p,
+                                         std::span<const record> table);
+
+AppResult run(const RunConfig& cfg);
+
+[[nodiscard]] timed_region region(Variant v, const perf::device_spec& dev,
+                                  int size);
+[[nodiscard]] std::vector<perf::kernel_stats> fpga_design(
+    const perf::device_spec& dev, int size);
+
+inline constexpr const char* kFpgaImplLabel = "ND-Range & Single-Task";
+
+/// Sec. 5.5: Where with size 3 crashes on Agilex. Exposed so harnesses can
+/// report the failure instead of a number, as the paper does.
+[[nodiscard]] bool crashes_on(const perf::device_spec& dev, Variant v, int size);
+
+void register_app();
+
+}  // namespace altis::apps::where

@@ -1,0 +1,35 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+namespace altis {
+
+const char* to_string(Variant v) {
+    switch (v) {
+        case Variant::cuda: return "cuda";
+        case Variant::sycl_base: return "sycl_base";
+        case Variant::sycl_opt: return "sycl_opt";
+        case Variant::fpga_base: return "fpga_base";
+        case Variant::fpga_opt: return "fpga_opt";
+    }
+    return "unknown";
+}
+
+Registry& Registry::instance() {
+    static Registry registry;
+    return registry;
+}
+
+void Registry::add(AppInfo info) {
+    if (find(info.name) != nullptr)
+        throw std::logic_error("application registered twice: " + info.name);
+    apps_.push_back(std::move(info));
+}
+
+const AppInfo* Registry::find(const std::string& name) const {
+    for (const auto& app : apps_)
+        if (app.name == name) return &app;
+    return nullptr;
+}
+
+}  // namespace altis

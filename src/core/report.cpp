@@ -1,0 +1,75 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace altis {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size())
+        throw std::invalid_argument("table row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ") << std::left
+                << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        out << " |\n";
+    };
+    auto print_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+        }
+        out << "-|\n";
+    };
+
+    print_row(header_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double value, int digits) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string Table::percent(double fraction) {
+    return num(fraction * 100.0, 1) + "%";
+}
+
+SeriesBlock::SeriesBlock(std::string title, std::vector<std::string> categories)
+    : title_(std::move(title)), table_([&categories] {
+          std::vector<std::string> header{"series"};
+          header.insert(header.end(), categories.begin(), categories.end());
+          return header;
+      }()) {}
+
+void SeriesBlock::add_series(const std::string& label,
+                             const std::vector<double>& values, int digits) {
+    std::vector<std::string> row{label};
+    for (double v : values) row.push_back(Table::num(v, digits));
+    table_.add_row(std::move(row));
+}
+
+void SeriesBlock::print(std::ostream& out) const {
+    out << "== " << title_ << " ==\n";
+    table_.print(out);
+    out << '\n';
+}
+
+}  // namespace altis

@@ -1,0 +1,45 @@
+// Console table/series printers shared by the figure- and table-regenerating
+// benchmark binaries. Each bench prints the same rows/series as the paper's
+// corresponding exhibit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace altis {
+
+/// Fixed-width console table. Columns are sized to fit contents.
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+    void print(std::ostream& out) const;
+
+    /// Format helper: fixed-point with `digits` decimals.
+    static std::string num(double value, int digits = 2);
+    /// Format helper: percentage with one decimal, e.g. "35.9%".
+    static std::string percent(double fraction);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure-like series block: one labeled row of values per series,
+/// matching the bar groups in the paper's figures.
+class SeriesBlock {
+public:
+    SeriesBlock(std::string title, std::vector<std::string> categories);
+
+    void add_series(const std::string& label, const std::vector<double>& values,
+                    int digits = 2);
+    void print(std::ostream& out) const;
+
+private:
+    std::string title_;
+    Table table_;
+};
+
+}  // namespace altis

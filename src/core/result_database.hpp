@@ -1,0 +1,70 @@
+// Altis-style result database: collects named metric samples across trials
+// and derives summary statistics. Mirrors the ResultDatabase shipped with the
+// original Altis/SHOC suites, which every Level-2 application reports into.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace altis {
+
+/// One metric series: all trial values recorded under (test, attributes, unit).
+struct Result {
+    std::string test;   ///< metric name, e.g. "kernel_time"
+    std::string atts;   ///< free-form attributes, e.g. "size=3,device=stratix10"
+    std::string unit;   ///< e.g. "ms", "GB/s"
+    std::vector<double> values;
+
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double median() const;
+    [[nodiscard]] double stddev() const;
+    /// Fraction of trials flagged as failed (recorded as FLT_MAX in Altis).
+    [[nodiscard]] double error_fraction() const;
+
+    /// Sentinel recorded for a failed trial, as in the original suite.
+    static double failure_sentinel();
+};
+
+/// Accumulates results over trials; used by every benchmark harness binary.
+class ResultDatabase {
+public:
+    /// Record one sample. Samples with identical (test, atts, unit) aggregate
+    /// into the same series.
+    void add_result(const std::string& test, const std::string& atts,
+                    const std::string& unit, double value);
+
+    /// Record a failed trial for the series (counts toward error_fraction).
+    void add_failure(const std::string& test, const std::string& atts,
+                     const std::string& unit);
+
+    [[nodiscard]] const std::vector<Result>& results() const { return results_; }
+
+    /// Find a series; returns nullptr if absent.
+    [[nodiscard]] const Result* find(const std::string& test,
+                                     const std::string& atts) const;
+
+    /// Geometric mean over the means of every series whose test name matches.
+    /// Non-positive means are skipped (they would poison the logarithm).
+    [[nodiscard]] double geomean(const std::string& test) const;
+
+    /// Human-readable summary table (min/max/mean/median/stddev per series).
+    void dump_summary(std::ostream& out) const;
+    /// Machine-readable CSV: test,atts,unit,trial0,trial1,...
+    void dump_csv(std::ostream& out) const;
+    /// Machine-readable JSON: array of {test, atts, unit, values, mean,
+    /// median, stddev}. Strings are escaped; failed trials appear as null.
+    void dump_json(std::ostream& out) const;
+
+    void clear() { results_.clear(); }
+
+private:
+    Result& series(const std::string& test, const std::string& atts,
+                   const std::string& unit);
+    std::vector<Result> results_;
+};
+
+}  // namespace altis

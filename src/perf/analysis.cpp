@@ -1,0 +1,211 @@
+#include "perf/analysis.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "perf/model.hpp"
+#include "perf/resource_model.hpp"
+
+namespace altis::perf {
+
+const char* to_string(bottleneck b) {
+    switch (b) {
+        case bottleneck::compute: return "compute throughput";
+        case bottleneck::memory_bandwidth: return "memory bandwidth";
+        case bottleneck::latency: return "launch/wave latency";
+        case bottleneck::pipeline: return "FPGA pipeline cycles";
+        case bottleneck::local_memory: return "local-memory ports/arbiters";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void suggest(kernel_analysis& a, std::string what, std::string ref,
+             double gain) {
+    a.suggestions.push_back({std::move(what), std::move(ref), gain});
+}
+
+void fpga_suggestions(kernel_analysis& a, const kernel_stats& k,
+                      const device_spec& dev, double fmax) {
+    if (!k.args_restrict &&
+        a.bound == bottleneck::memory_bandwidth) {
+        kernel_stats fixed = k;
+        fixed.args_restrict = true;
+        const double gain = fpga_kernel_time_ns(k, dev, fmax) /
+                            fpga_kernel_time_ns(fixed, dev, fmax);
+        suggest(a, "denote non-aliasing pointers with "
+                   "[[intel::kernel_args_restrict]]", "Sec. 5.1", gain);
+    }
+    if (a.bound == bottleneck::pipeline && k.form == kernel_form::nd_range &&
+        k.simd < 8 && k.pattern == local_pattern::none) {
+        kernel_stats wider = k;
+        wider.simd = std::min(8, k.simd * 2 == 0 ? 2 : k.simd * 2);
+        const double gain = fpga_kernel_time_ns(k, dev, fmax) /
+                            fpga_kernel_time_ns(wider, dev, fmax);
+        if (gain > 1.1)
+            suggest(a, "vectorize with [[intel::num_simd_work_items]]",
+                    "Sec. 5.2", gain);
+    }
+    if (a.bound == bottleneck::local_memory) {
+        if (k.pattern == local_pattern::congested) {
+            suggest(a, "access pattern prevents banking: arbiters serialize; "
+                       "restructure the shared-memory layout or accept the "
+                       "stall (unrolling would violate timing)",
+                    "Sec. 5.2 case 3", 1.0);
+        } else if (k.unroll < 30) {
+            kernel_stats unrolled = k;
+            unrolled.unroll = std::min(30, std::max(2, k.unroll * 4));
+            const double gain = fpga_kernel_time_ns(k, dev, fmax) /
+                                fpga_kernel_time_ns(unrolled, dev, fmax);
+            if (gain > 1.1)
+                suggest(a, "unroll the shared-memory loop (banking serves the "
+                           "unrolled accesses)", "Sec. 5.2 case 1", gain);
+        }
+    }
+    if (a.bound == bottleneck::pipeline && k.dep_chain_cycles > 4.0 &&
+        k.form == kernel_form::nd_range) {
+        suggest(a, "rewrite as Single-Task and interleave independent "
+                   "iterations to hide the loop-carried chain", "Sec. 5.3",
+                k.dep_chain_cycles / 4.0);
+    }
+    if (k.form == kernel_form::single_task) {
+        for (const auto& loop : k.loops) {
+            const double waste = loop.entries *
+                                 (loop.speculated_iterations + 4.0);
+            const double useful =
+                loop.trip_count / std::max(1, loop.unroll) *
+                std::max(1, loop.initiation_interval);
+            if (loop.speculated_iterations > 1 && waste > 0.1 * useful)
+                suggest(a, "lower [[intel::speculated_iterations]] on loop '" +
+                               loop.name + "'",
+                        "Sec. 5.3", (useful + waste) /
+                                        (useful + loop.entries * 5.0));
+        }
+    }
+    if (k.replication <= 2 && a.bound == bottleneck::pipeline) {
+        kernel_stats repl = k;
+        repl.replication = k.replication * 2;
+        const auto fits = estimate_kernel_resources(repl, dev);
+        if (fits.alm_frac < 0.5)
+            suggest(a, "replicate compute units", "Sec. 5.1",
+                    fpga_kernel_time_ns(k, dev, fmax) /
+                        fpga_kernel_time_ns(repl, dev, fmax));
+    }
+    if (k.pass_accessor_objects)
+        suggest(a, "pass pointers instead of accessor objects (member "
+                   "functions get synthesized)", "Sec. 4", 1.0);
+    if (k.dynamic_local_size)
+        suggest(a, "size local memory exactly with "
+                   "group_local_memory_for_overwrite (dynamic accessors "
+                   "reserve 16 KiB each)", "Sec. 5.2 / Sec. 4", 1.0);
+}
+
+void xpu_suggestions(kernel_analysis& a, const kernel_stats& k,
+                     const device_spec& dev) {
+    if (a.bound == bottleneck::latency)
+        suggest(a, "kernel is launch-bound: fuse launches or batch more work "
+                   "per submission (cf. FDTD2D's non-kernel region, Fig. 1)",
+                "Sec. 3.3", a.memory_only_ns > 0
+                                ? a.time_ns / std::max(a.compute_only_ns,
+                                                       a.memory_only_ns)
+                                : 1.0);
+    if (k.sfu_ops > 10.0 && a.bound == bottleneck::compute) {
+        kernel_stats cheap = k;
+        cheap.fp32_ops += cheap.sfu_ops;
+        cheap.sfu_ops = 0.0;
+        suggest(a, "replace special-function calls (e.g. pow(a,2) -> a*a)",
+                "Sec. 3.3",
+                kernel_time_ns(k, dev) / kernel_time_ns(cheap, dev));
+    }
+    if (k.occupancy < 0.9)
+        suggest(a, "raise the inlining threshold (-finlining-threshold): "
+                   "un-inlined calls cost registers and occupancy",
+                "Sec. 3.3", 1.0 / (0.5 + 0.5 * k.occupancy));
+    if (dev.kind == device_kind::gpu && k.divergence > 0.5 &&
+        a.bound == bottleneck::compute)
+        suggest(a, "reduce divergence (rewrite conditionals as ternaries / "
+                   "sort work by behaviour)", "Sec. 5.2", 1.3);
+}
+
+}  // namespace
+
+kernel_analysis analyze(const kernel_stats& k, const device_spec& dev,
+                        double design_fmax_mhz) {
+    kernel_analysis a;
+
+    if (dev.is_fpga()) {
+        const double fmax = design_fmax_mhz > 0.0
+                                ? design_fmax_mhz
+                                : estimate_kernel_resources(k, dev).fmax_mhz;
+        a.time_ns = fpga_kernel_time_ns(k, dev, fmax);
+        const double alias = k.args_restrict ? 1.0 : 1.35;
+        a.memory_only_ns = k.total_bytes() * alias /
+                           (dev.mem_bw_gbs * dev.mem_efficiency);
+        // Pipe-only time: zero the global traffic.
+        kernel_stats no_mem = k;
+        no_mem.bytes_read = no_mem.bytes_written = 0.0;
+        a.compute_only_ns = fpga_kernel_time_ns(no_mem, dev, fmax);
+
+        if (a.memory_only_ns >= a.compute_only_ns * 0.999) {
+            a.bound = bottleneck::memory_bandwidth;
+            a.limit_utilization = 1.0;
+        } else {
+            // Pipeline-bound: distinguish local-memory cycles from datapath.
+            const bool local_bound =
+                k.form == kernel_form::nd_range &&
+                k.pattern != local_pattern::none &&
+                k.local_accesses / std::max(1, k.unroll) >
+                    std::max(1.0, k.dep_chain_cycles) /
+                        std::max(1, k.simd);
+            a.bound = local_bound ? bottleneck::local_memory
+                                  : bottleneck::pipeline;
+            a.limit_utilization = a.memory_only_ns / a.time_ns;
+        }
+        fpga_suggestions(a, k, dev, fmax);
+        return a;
+    }
+
+    a.time_ns = kernel_time_ns(k, dev);
+    // Re-derive the roofline terms (mirrors perf::xpu_time_ns).
+    kernel_stats mem_only = k;
+    mem_only.fp32_ops = mem_only.fp64_ops = mem_only.int_ops =
+        mem_only.sfu_ops = 0.0;
+    mem_only.local_accesses = 0.0;
+    a.memory_only_ns = kernel_time_ns(mem_only, dev);
+    kernel_stats compute_only = k;
+    compute_only.bytes_read = compute_only.bytes_written = 0.0;
+    a.compute_only_ns = kernel_time_ns(compute_only, dev);
+
+    const double floor_share =
+        std::min(a.memory_only_ns, a.compute_only_ns) / a.time_ns;
+    if (floor_share > 0.85 &&
+        std::max(a.memory_only_ns, a.compute_only_ns) < a.time_ns * 1.02) {
+        a.bound = bottleneck::latency;
+        a.limit_utilization = 0.0;
+    } else if (a.memory_only_ns >= a.compute_only_ns) {
+        a.bound = bottleneck::memory_bandwidth;
+        a.limit_utilization = a.memory_only_ns / a.time_ns;
+    } else {
+        a.bound = bottleneck::compute;
+        a.limit_utilization = a.compute_only_ns / a.time_ns;
+    }
+    xpu_suggestions(a, k, dev);
+    return a;
+}
+
+void render(const kernel_analysis& a, const kernel_stats& k,
+            const device_spec& dev, std::ostream& out) {
+    out << k.name << " on " << dev.display << ": " << a.time_ns / 1e6
+        << " ms, bound by " << to_string(a.bound) << '\n';
+    out << "  if compute-only: " << a.compute_only_ns / 1e6
+        << " ms, if memory-only: " << a.memory_only_ns / 1e6 << " ms\n";
+    for (const auto& s : a.suggestions) {
+        out << "  -> " << s.what << " (" << s.paper_ref;
+        if (s.expected_gain > 1.05)
+            out << ", ~" << s.expected_gain << "x";
+        out << ")\n";
+    }
+}
+
+}  // namespace altis::perf

@@ -1,0 +1,57 @@
+// Kernel analysis: explains *why* a kernel takes the time the model says it
+// takes and which of the paper's optimization techniques apply. This is the
+// reproduction's stand-in for the VTune profiling the authors used to find
+// pipeline bottlenecks (Sec. 5.2) and encodes their "comprehensive set of
+// practical guidelines" as machine-checkable advice.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/device.hpp"
+#include "perf/kernel_stats.hpp"
+
+namespace altis::perf {
+
+/// What limits the kernel on the analyzed device.
+enum class bottleneck {
+    compute,          ///< FP/int throughput (CPU/GPU roofline left of ridge)
+    memory_bandwidth, ///< DRAM/board bandwidth
+    latency,          ///< launch/wave floors dominate (kernel too small)
+    pipeline,         ///< FPGA datapath cycles (II, dep chains, SIMD width)
+    local_memory,     ///< shared/local-memory ports or arbitration
+};
+
+[[nodiscard]] const char* to_string(bottleneck b);
+
+/// One actionable recommendation, tied to the paper section it comes from.
+struct advice {
+    std::string what;     ///< e.g. "rewrite as Single-Task with pipes"
+    std::string paper_ref;  ///< e.g. "Sec. 5.3"
+    double expected_gain = 1.0;  ///< rough model-predicted factor
+};
+
+struct kernel_analysis {
+    bottleneck bound = bottleneck::compute;
+    double time_ns = 0.0;
+    /// Fraction of the limiting resource's capability actually used by the
+    /// dominating term (1.0 = at the wall).
+    double limit_utilization = 0.0;
+    /// Secondary times: what the kernel would take if only bounded by X.
+    double compute_only_ns = 0.0;
+    double memory_only_ns = 0.0;
+    std::vector<advice> suggestions;
+};
+
+/// Analyze one kernel on one device. For FPGAs, pass the design Fmax if the
+/// kernel shares a bitstream (0 = estimate from the kernel alone).
+[[nodiscard]] kernel_analysis analyze(const kernel_stats& k,
+                                      const device_spec& dev,
+                                      double design_fmax_mhz = 0.0);
+
+/// Render a short human-readable report.
+void render(const kernel_analysis& a, const kernel_stats& k,
+            const device_spec& dev, std::ostream& out);
+
+}  // namespace altis::perf

@@ -1,0 +1,67 @@
+// Device catalog: the six accelerators of the paper's Table 2, with the
+// additional microarchitectural parameters the analytic performance models
+// need (FP64 throughput ratios, PCIe bandwidth, FPGA resource totals and
+// achievable kernel-frequency ranges).
+//
+// Substitution note (DESIGN.md Sec. 2): none of this hardware exists in the
+// reproduction environment, so these specs parameterize simulators instead of
+// describing attached devices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace altis::perf {
+
+enum class device_kind { cpu, gpu, fpga };
+
+[[nodiscard]] const char* to_string(device_kind k);
+
+struct device_spec {
+    std::string name;     ///< stable identifier, e.g. "stratix_10"
+    std::string display;  ///< Table-2 row label, e.g. "Stratix 10 FPGA (BittWare 520N)"
+    device_kind kind = device_kind::cpu;
+    int process_nm = 0;
+
+    /// CPU cores / GPU SMs (Xe-cores) / FPGA user-logic DSPs.
+    int compute_units = 0;
+
+    double peak_fp32_tflops = 0.0;
+    double peak_fp64_tflops = 0.0;
+    /// Throughput of special-function ops (pow, exp, rsqrt) in TOP/s; far
+    /// below FMA rate on every device -- this is what makes the paper's
+    /// pow(a,2) -> a*a transformation worth 6x in ParticleFilter Float.
+    double peak_sfu_tops = 0.0;
+
+    double mem_bw_gbs = 0.0;   ///< peak device memory bandwidth
+    double pcie_bw_gbs = 0.0;  ///< host<->device transfer bandwidth
+
+    /// Sustained-fraction knobs for the roofline models.
+    double compute_efficiency = 0.7;  ///< fraction of peak FLOP/s sustained
+    double mem_efficiency = 0.75;     ///< fraction of peak bandwidth sustained
+
+    bool usm_supported = true;  ///< false on both FPGA boards (Sec. 3.2.1)
+
+    // --- FPGA-only fields (zero elsewhere) ---
+    std::int64_t total_alms = 0;
+    std::int64_t total_brams = 0;   ///< M20K blocks
+    std::int64_t total_dsps = 0;    ///< device total (Table 3 "T:")
+    std::int64_t user_dsps = 0;     ///< available to user logic (Table 2)
+    double fmin_mhz = 0.0;          ///< low end of achieved SYCL-kernel Fmax
+    double fmax_mhz = 0.0;          ///< high end of achieved SYCL-kernel Fmax
+
+    [[nodiscard]] bool is_fpga() const { return kind == device_kind::fpga; }
+
+    /// Peak attainable FP32 for FPGAs per the paper's formula
+    /// `DSP_user x 2 x F` (TFLOP/s) at the given kernel frequency.
+    [[nodiscard]] double fpga_peak_fp32_tflops(double freq_mhz) const;
+};
+
+/// All devices of Table 2. Stable order: CPU, GPUs, FPGAs.
+[[nodiscard]] std::span<const device_spec> device_catalog();
+
+/// Lookup by `name`; throws std::out_of_range for unknown names.
+[[nodiscard]] const device_spec& device_by_name(const std::string& name);
+
+}  // namespace altis::perf

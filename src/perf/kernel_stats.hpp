@@ -1,0 +1,128 @@
+// Kernel structure descriptor: everything the device models need to know
+// about one kernel submission. Applications build one descriptor per kernel
+// per implementation variant; the descriptor is where the paper's code
+// differences (accessor objects vs pointers, SIMD/unroll/replication
+// attributes, pipe usage, speculated iterations, ...) become model inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace altis::perf {
+
+enum class kernel_form {
+    nd_range,     ///< SIMT-style kernel (all DPCT-migrated Altis kernels)
+    single_task,  ///< FPGA single-threaded pipelined kernel (Sec. 5.3)
+};
+
+/// How the kernel's local (shared) memory is accessed; decides whether the
+/// FPGA compiler can bank/replicate it or must insert stall-capable arbiters
+/// (paper Sec. 5.2, cases 1-3).
+enum class local_pattern {
+    none,       ///< kernel uses no local memory
+    scalar,     ///< a single shared scalar (e.g. PF Float's one double)
+    banked,     ///< stride-friendly: banking/replication succeed (LavaMD)
+    congested,  ///< irregular: arbiters serialize access (NW, DWT2D)
+};
+
+/// One pipelined loop of a Single-Task kernel.
+struct loop_info {
+    std::string name;
+    /// Total iterations executed across the whole kernel invocation
+    /// (dynamic count; for data-dependent loops apps estimate it).
+    double trip_count = 0.0;
+    /// How many times the loop is entered; each exit discards
+    /// `speculated_iterations` in-flight iterations (Sec. 5.3, Mandelbrot).
+    double entries = 1.0;
+    int initiation_interval = 1;  ///< achieved II after directives
+    int speculated_iterations = 4;  ///< compiler default is 4
+    int unroll = 1;
+};
+
+/// Per-work-item dynamic costs plus static code structure of one kernel.
+struct kernel_stats {
+    std::string name;
+    kernel_form form = kernel_form::nd_range;
+
+    // ---- work geometry ----
+    double global_items = 1.0;  ///< total work-items (1 for single-task)
+    double wg_size = 1.0;
+
+    // ---- dynamic per-work-item costs ----
+    double fp32_ops = 0.0;       ///< FP32 arithmetic ops per item
+    double fp64_ops = 0.0;
+    double int_ops = 0.0;        ///< integer/address arithmetic per item
+    double sfu_ops = 0.0;        ///< pow/exp/sqrt/sin per item
+    double bytes_read = 0.0;     ///< global-memory bytes read per item
+    double bytes_written = 0.0;  ///< global-memory bytes written per item
+    double local_accesses = 0.0; ///< local-memory accesses per item
+    double barriers = 0.0;       ///< barrier phases per work-item
+
+    /// Fraction of work-items diverging from their SIMD group, 0..1.
+    double divergence = 0.0;
+
+    /// GPU SM occupancy fraction (1.0 = full). Un-inlined call trees and
+    /// register spills halve it -- the mechanism behind the paper's
+    /// -finlining-threshold fix recovering up to 2x for NW (Sec. 3.3).
+    double occupancy = 1.0;
+
+    /// Serial cycles per work-item imposed by a loop-carried dependency
+    /// chain (e.g. Mandelbrot's z = z^2 + c at FP latency). GPUs hide this
+    /// latency across warps; an FPGA ND-Range datapath cannot, which is why
+    /// such kernels get rewritten as Single-Task with interleaved chains
+    /// (Sec. 5.3).
+    double dep_chain_cycles = 0.0;
+
+    // ---- static code structure (resource model inputs) ----
+    double static_fp32_ops = 0.0;  ///< FP ops in the kernel body (pre-unroll)
+    double static_fp64_ops = 0.0;
+    double static_int_ops = 8.0;   ///< incl. address arithmetic
+    double static_branches = 1.0;
+    /// 0..10: control-flow complexity on the critical path (loop exits,
+    /// deep nesting). Drives Fmax degradation; ParticleFilter ~8-9.
+    int control_complexity = 2;
+
+    // ---- local memory ----
+    local_pattern pattern = local_pattern::none;
+    double local_mem_bytes = 0.0;  ///< footprint per work-group / kernel
+    int local_arrays = 0;          ///< distinct shared arrays (SRAD has 11)
+    /// true when sized via dynamically-sized DPCT accessors: the FPGA
+    /// compiler reserves 16 KiB per array (Sec. 4); false when sized exactly
+    /// via group_local_memory_for_overwrite (Sec. 5.2).
+    bool dynamic_local_size = false;
+
+    // ---- kernel arguments ----
+    int accessor_args = 0;  ///< buffer arguments
+    /// true when accessor *objects* are passed (member functions get
+    /// synthesized, Sec. 4); false when local/device pointers are passed.
+    bool pass_accessor_objects = false;
+    bool args_restrict = false;  ///< [[intel::kernel_args_restrict]]
+
+    // ---- optimization attributes ----
+    int simd = 1;         ///< [[intel::num_simd_work_items]] (ND-Range)
+    int replication = 1;  ///< compute units (Sec. 5.1)
+    int unroll = 1;       ///< #pragma unroll on the hot loop (ND-Range)
+
+    // ---- single-task structure ----
+    std::vector<loop_info> loops;
+
+    // ---- dataflow ----
+    bool reads_pipe = false;
+    bool writes_pipe = false;
+
+    // ---- derived totals ----
+    [[nodiscard]] double total_fp32() const { return fp32_ops * global_items; }
+    [[nodiscard]] double total_fp64() const { return fp64_ops * global_items; }
+    [[nodiscard]] double total_int() const { return int_ops * global_items; }
+    [[nodiscard]] double total_sfu() const { return sfu_ops * global_items; }
+    [[nodiscard]] double total_bytes() const {
+        return (bytes_read + bytes_written) * global_items;
+    }
+    [[nodiscard]] double num_groups() const {
+        return wg_size > 0 ? global_items / wg_size : 0.0;
+    }
+    [[nodiscard]] bool uses_pipes() const { return reads_pipe || writes_pipe; }
+};
+
+}  // namespace altis::perf

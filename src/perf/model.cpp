@@ -1,0 +1,191 @@
+#include "perf/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perf/resource_model.hpp"
+
+namespace altis::perf {
+
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+
+// ---------------------------------------------------------------- CPU / GPU
+
+double xpu_time_ns(const kernel_stats& k, const device_spec& dev) {
+    const double occ = std::clamp(k.occupancy, 0.1, 1.0);
+    const double eff = dev.compute_efficiency *
+                       (1.0 - 0.5 * std::clamp(k.divergence, 0.0, 1.0)) *
+                       (0.8 + 0.2 * occ);
+
+    // On the CPU backend, heavily data-dependent loops (early-exit searches,
+    // per-item trip counts) defeat vectorization entirely and fall back to
+    // near-scalar issue (~5 Gop/s per core). Mildly divergent kernels still
+    // vectorize with masking; GPUs mask per lane either way (via `eff`).
+    const double scalar_cap_ops =
+        static_cast<double>(dev.compute_units) * 5.0e9;
+    auto cpu_rate = [&](double vector_rate) {
+        if (dev.kind != device_kind::cpu || k.divergence < 0.58)
+            return vector_rate;
+        return std::min(vector_rate, scalar_cap_ops);
+    };
+
+    double compute_s = 0.0;
+    if (dev.peak_fp32_tflops > 0.0)
+        compute_s +=
+            k.total_fp32() / cpu_rate(dev.peak_fp32_tflops * 1e12 * eff);
+    if (dev.peak_fp64_tflops > 0.0)
+        compute_s +=
+            k.total_fp64() / cpu_rate(dev.peak_fp64_tflops * 1e12 * eff);
+    // Integer/address arithmetic issues on the FP32 pipes at a similar rate.
+    if (dev.peak_fp32_tflops > 0.0)
+        compute_s += k.total_int() / cpu_rate(dev.peak_fp32_tflops * 1e12 * 0.8);
+    if (dev.peak_sfu_tops > 0.0)
+        compute_s += k.total_sfu() / (dev.peak_sfu_tops * 1e12);
+
+    // On-chip shared/local memory: roughly 6x the DRAM bandwidth.
+    const double local_bytes = k.local_accesses * 4.0 * k.global_items;
+    compute_s += local_bytes / (dev.mem_bw_gbs * 1e9 * 6.0);
+
+    const double mem_s = k.total_bytes() / (dev.mem_bw_gbs * 1e9 *
+                                            dev.mem_efficiency *
+                                            (0.7 + 0.3 * occ));
+
+    double floor_ns = 0.0;
+    if (dev.kind == device_kind::gpu) {
+        // Pipeline/wave latency: a kernel cannot finish faster than its wave
+        // count allows, and never faster than the device round-trip. Low
+        // occupancy exposes more of this latency.
+        const double groups = std::max(1.0, k.num_groups());
+        const double waves =
+            std::ceil(groups / (static_cast<double>(dev.compute_units) * 32.0));
+        floor_ns = (1800.0 + waves * 150.0) / occ;
+        // Work-group barriers cost a pipeline re-fill each.
+        floor_ns += k.barriers * groups * 100.0 /
+                    (static_cast<double>(dev.compute_units) * occ);
+    } else {
+        // Parallel-region fork/join on the host.
+        floor_ns = 5000.0;
+    }
+
+    return std::max(compute_s, mem_s) * kNsPerSec + floor_ns;
+}
+
+// --------------------------------------------------------------------- FPGA
+
+// Datapath cycles per work-item (before SIMD widening). An FPGA ND-Range
+// pipeline spatializes the whole straight-line kernel body and retires one
+// work-item per cycle regardless of its op count -- which is why most Altis
+// FPGA designs end up limited by board memory bandwidth (Sec. 5.4/6). Only
+// serial recurrences (dep_chain_cycles: Mandelbrot's escape chain, a path
+// tracer's bounce chain) force more cycles per item.
+double fpga_fp_item_cycles(const kernel_stats& k) {
+    return std::max(1.0, k.dep_chain_cycles);
+}
+
+// Local-memory cycles per work-item; SIMD does not help here (port sharing).
+double fpga_local_item_cycles(const kernel_stats& k) {
+    const double unroll = std::max(1, k.unroll);
+    switch (k.pattern) {
+        case local_pattern::none:
+        case local_pattern::scalar:
+            return 0.0;
+        case local_pattern::banked:
+            // Banking serves `unroll` accesses per cycle (Sec. 5.2 case 1:
+            // LavaMD speeds up almost linearly with the unroll factor).
+            return k.local_accesses / unroll;
+        case local_pattern::congested:
+            // Arbiters serialize and stall (Sec. 5.2 case 3).
+            return 2.0 + k.local_accesses / 2.0;
+    }
+    return 0.0;
+}
+
+double fpga_nd_range_cycles(const kernel_stats& k) {
+    const double simd = std::max(1, k.simd);
+    const double repl = std::max(1, k.replication);
+    // SIMD lanes share the work-group local memory: banking serves the
+    // unrolled accesses of one item, but vector lanes contend for the same
+    // ports (Sec. 5.2 case 2 -- why SRAD prefers wide work-groups over wide
+    // SIMD). FP datapaths replicate cleanly with SIMD.
+    const double divergence_stall =
+        1.0 + 2.0 * std::clamp(k.divergence, 0.0, 1.0);
+    const double fp_cycles_per_item =
+        std::max({1.0, fpga_fp_item_cycles(k), k.dep_chain_cycles}) *
+        divergence_stall;
+    const double local_cycles_per_item = fpga_local_item_cycles(k);
+    const double cycles_fp = k.global_items * fp_cycles_per_item / simd;
+    const double cycles_local = k.global_items * local_cycles_per_item;
+    double cycles = std::max(cycles_fp, cycles_local) / repl;
+
+    // Each barrier drains and refills the work-group pipeline.
+    const double groups = std::max(1.0, k.num_groups() / repl);
+    cycles += groups * k.barriers * (25.0 + k.wg_size / std::max(simd, 2.0));
+
+    return cycles + 300.0;  // pipeline startup
+}
+
+double fpga_single_task_cycles(const kernel_stats& k) {
+    double cycles = 200.0;  // control prologue
+    for (const auto& loop : k.loops) {
+        const double unroll = std::max(1, loop.unroll);
+        cycles += loop.trip_count / unroll *
+                  static_cast<double>(std::max(1, loop.initiation_interval));
+        // Every loop exit discards the speculated in-flight iterations and
+        // pays a short refill bubble (Sec. 5.3).
+        cycles += loop.entries *
+                  (static_cast<double>(loop.speculated_iterations) + 4.0);
+    }
+    // Replicated compute units split the trip counts (SubmitComputeUnits).
+    return cycles / std::max(1, k.replication);
+}
+
+}  // namespace
+
+double fpga_kernel_time_ns(const kernel_stats& k, const device_spec& dev,
+                           double fmax_mhz) {
+    if (!dev.is_fpga())
+        throw std::invalid_argument("fpga_kernel_time_ns: not an FPGA device");
+    const double cycles = (k.form == kernel_form::single_task)
+                              ? fpga_single_task_cycles(k)
+                              : fpga_nd_range_cycles(k);
+    const double pipe_s = cycles / (fmax_mhz * 1e6);
+    // Without [[intel::kernel_args_restrict]] the compiler must assume
+    // aliasing and emits conservative, non-coalescing load/store units --
+    // one of the paper's "general optimizations" (Sec. 5.1).
+    const double alias_penalty = k.args_restrict ? 1.0 : 1.35;
+    const double mem_s = k.total_bytes() * alias_penalty /
+                         (dev.mem_bw_gbs * 1e9 * dev.mem_efficiency);
+    return std::max(pipe_s, mem_s) * kNsPerSec;
+}
+
+double kernel_time_ns(const kernel_stats& k, const device_spec& dev) {
+    if (!dev.is_fpga()) return xpu_time_ns(k, dev);
+    const resource_usage u = estimate_kernel_resources(k, dev);
+    return fpga_kernel_time_ns(k, dev, u.fmax_mhz);
+}
+
+double dataflow_time_ns(std::span<const kernel_stats> kernels,
+                        const device_spec& dev) {
+    double worst = 0.0;
+    if (dev.is_fpga()) {
+        // All kernels share one bitstream: clock everything at design Fmax.
+        const resource_usage design = estimate_design_resources(kernels, dev);
+        for (const auto& k : kernels)
+            worst = std::max(worst, fpga_kernel_time_ns(k, dev, design.fmax_mhz));
+    } else {
+        for (const auto& k : kernels)
+            worst = std::max(worst, kernel_time_ns(k, dev));
+    }
+    return worst;
+}
+
+double dataflow_time_ns(const std::vector<kernel_stats>& kernels,
+                        const device_spec& dev) {
+    return dataflow_time_ns(
+        std::span<const kernel_stats>(kernels.data(), kernels.size()), dev);
+}
+
+}  // namespace altis::perf

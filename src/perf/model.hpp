@@ -1,0 +1,40 @@
+// Analytic kernel-timing models. One entry point dispatches on device kind:
+//  - CPU/GPU: roofline (compute vs memory-bandwidth bound) plus wave/launch
+//    latency floors and SIMT divergence penalties.
+//  - FPGA: pipelined-datapath model -- initiation interval, SIMD width,
+//    compute-unit replication, speculated-iteration waste, barrier drains and
+//    local-memory arbitration, bounded by board memory bandwidth, clocked at
+//    the Fmax predicted by the resource model.
+// These simulators substitute for the paper's physical testbed; see
+// DESIGN.md Sec. 2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "perf/device.hpp"
+#include "perf/kernel_stats.hpp"
+
+namespace altis::perf {
+
+/// Simulated execution time of one kernel in nanoseconds. For FPGAs the
+/// kernel's own estimated Fmax is used; prefer the explicit-Fmax overload
+/// when the kernel is part of a larger design (design Fmax = min over
+/// kernels).
+[[nodiscard]] double kernel_time_ns(const kernel_stats& k,
+                                    const device_spec& dev);
+
+/// FPGA kernel time at an externally-supplied design frequency.
+[[nodiscard]] double fpga_kernel_time_ns(const kernel_stats& k,
+                                         const device_spec& dev,
+                                         double fmax_mhz);
+
+/// Time of a dataflow group: kernels connected by pipes execute
+/// concurrently, so the group finishes with its slowest member (Fig. 3's
+/// optimized KMeans design). Works for GPU concurrent queues too.
+[[nodiscard]] double dataflow_time_ns(std::span<const kernel_stats> kernels,
+                                      const device_spec& dev);
+[[nodiscard]] double dataflow_time_ns(const std::vector<kernel_stats>& kernels,
+                                      const device_spec& dev);
+
+}  // namespace altis::perf

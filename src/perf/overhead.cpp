@@ -1,0 +1,54 @@
+#include "perf/overhead.hpp"
+
+namespace altis::perf {
+
+const char* to_string(runtime_kind k) {
+    switch (k) {
+        case runtime_kind::cuda: return "cuda";
+        case runtime_kind::sycl: return "sycl";
+    }
+    return "unknown";
+}
+
+namespace {
+constexpr double kUs = 1000.0;  // ns per microsecond
+
+// Calibrated so that FDTD2D reproduces Figure 1: with O(10^2) launches at
+// size 1 and O(10^4) at size 3, CUDA's non-kernel region stays in the 0.4 ms
+// / 10 ms range while SYCL's grows to 2.7 ms / 146 ms.
+constexpr double kCudaLaunchUs = 1.2;
+constexpr double kSyclGpuLaunchUs = 15.0;   // extra context/event API calls
+constexpr double kSyclCpuLaunchUs = 100.0;  // OpenCL-CPU/TBB dispatch per range
+constexpr double kSyclFpgaLaunchUs = 25.0;  // OpenCL BSP invocation path
+}  // namespace
+
+double launch_overhead_ns(runtime_kind rt, const device_spec& dev) {
+    if (rt == runtime_kind::cuda) return kCudaLaunchUs * kUs;
+    switch (dev.kind) {
+        case device_kind::cpu: return kSyclCpuLaunchUs * kUs;
+        case device_kind::gpu: return kSyclGpuLaunchUs * kUs;
+        case device_kind::fpga: return kSyclFpgaLaunchUs * kUs;
+    }
+    return kSyclGpuLaunchUs * kUs;
+}
+
+double sync_overhead_ns(runtime_kind rt, const device_spec& dev) {
+    const double base = (rt == runtime_kind::cuda) ? 3.0 : 8.0;
+    return base * kUs * (dev.kind == device_kind::cpu ? 0.5 : 1.0);
+}
+
+double transfer_ns(runtime_kind rt, const device_spec& dev, double bytes) {
+    const double fixed = (rt == runtime_kind::cuda ? 6.0 : 12.0) * kUs;
+    if (dev.kind == device_kind::cpu || dev.pcie_bw_gbs <= 0.0) return fixed;
+    return fixed + bytes / (dev.pcie_bw_gbs * 1e9) * 1e9;
+}
+
+double setup_overhead_ns(runtime_kind rt, const device_spec& dev) {
+    if (dev.kind == device_kind::cpu) return 20.0 * kUs;
+    // SYCL pays just-in-time compilation plus lazy context creation on first
+    // use; CUDA contexts are cheaper and kernels are compiled ahead of time.
+    if (rt == runtime_kind::cuda) return 60.0 * kUs;
+    return dev.kind == device_kind::fpga ? 120.0 * kUs : 200.0 * kUs;
+}
+
+}  // namespace altis::perf

@@ -1,0 +1,38 @@
+// Runtime (non-kernel) overhead model: kernel launch, synchronization and
+// host<->device transfer costs for the two runtimes the paper compares.
+// These constants produce Figure 1's kernel/non-kernel decomposition: the
+// migrated SYCL runtime pays substantially more per kernel invocation than
+// CUDA because it issues extra context/event-management API calls underneath
+// (Sec. 3.3, "Discussion"; also observed by Castano et al. [3]).
+#pragma once
+
+#include "perf/device.hpp"
+
+namespace altis::perf {
+
+enum class runtime_kind {
+    cuda,  ///< original Altis runtime (NVIDIA driver, events timing)
+    sycl,  ///< oneAPI runtime (opens CUDA/L0/OpenCL underneath)
+};
+
+[[nodiscard]] const char* to_string(runtime_kind k);
+
+/// Cost in ns of submitting one kernel (driver + runtime bookkeeping).
+[[nodiscard]] double launch_overhead_ns(runtime_kind rt, const device_spec& dev);
+
+/// Cost in ns of a host-side synchronization (cudaDeviceSynchronize /
+/// queue::wait).
+[[nodiscard]] double sync_overhead_ns(runtime_kind rt, const device_spec& dev);
+
+/// Time in ns to move `bytes` across the host<->device link, including the
+/// per-call fixed cost. Zero-byte transfers still pay the fixed cost.
+/// On the CPU "device" there is no link: only the fixed cost applies.
+[[nodiscard]] double transfer_ns(runtime_kind rt, const device_spec& dev,
+                                 double bytes);
+
+/// One-time setup cost in ns inside a timed region (context/queue creation,
+/// first-touch JIT for GPUs). FPGA bitstream programming happens ahead of
+/// time and is excluded, as in the paper.
+[[nodiscard]] double setup_overhead_ns(runtime_kind rt, const device_spec& dev);
+
+}  // namespace altis::perf

@@ -1,0 +1,179 @@
+#include "perf/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace altis::perf {
+
+using namespace calibration;
+
+namespace {
+
+// Width of the replicated datapath inside one compute unit: full unrolling
+// and SIMD vectorization both instantiate the loop body that many times
+// (Sec. 5.2: "resource utilization scales approximately linearly with the
+// vectorization factor").
+double datapath_width(const kernel_stats& k) {
+    return std::max(1.0, static_cast<double>(k.unroll) *
+                             static_cast<double>(k.simd));
+}
+
+// Local-memory read/write ports the datapath requests concurrently.
+double local_ports(const kernel_stats& k) {
+    if (k.pattern == local_pattern::none) return 0.0;
+    return std::clamp(datapath_width(k), 1.0, 32.0);
+}
+
+double estimate_fmax(const kernel_stats& k, const device_spec& dev,
+                     double alm_frac) {
+    double f = dev.fmax_mhz;
+
+    // Control flow on the critical path (data-dependent loop exits, deep
+    // nesting) dominates Fmax: ParticleFilter's branch-heavy kernels only
+    // reach ~105 MHz in the paper.
+    f *= std::pow(0.85, k.control_complexity);
+
+    // Arbiters inserted for congested local memory stretch the clock path.
+    if (k.pattern == local_pattern::congested) f *= 0.80;
+
+    // Very wide datapaths (heavy unroll x SIMD) add routing pressure.
+    f /= 1.0 + 0.004 * datapath_width(k);
+
+    // Local-memory port pressure: SIMD lanes multiply the concurrent ports
+    // on every shared array; past ~16 ports the routed memory system melts
+    // the clock (Sec. 5.2 case 2: SRAD at SIMD 8 on eleven arrays).
+    if (k.pattern != local_pattern::none) {
+        const double ports =
+            static_cast<double>(k.local_arrays) * std::max(1, k.simd);
+        f /= 1.0 + 0.02 * std::max(0.0, ports - 16.0);
+    }
+
+    // Placement pressure: congested devices close timing at lower clocks.
+    f *= 1.0 - 0.30 * std::max(0.0, alm_frac - 0.5);
+
+    return std::min(f, dev.fmax_mhz);
+}
+
+}  // namespace
+
+resource_usage estimate_kernel_resources(const kernel_stats& k,
+                                         const device_spec& dev) {
+    resource_usage u;
+    const double width = datapath_width(k);
+    const double repl = std::max(1, k.replication);
+
+    // --- DSPs: FP datapath, replicated by unroll x SIMD x compute units.
+    double dsps = (k.static_fp32_ops * kDspsPerFp32Op +
+                   k.static_fp64_ops * kDspsPerFp64Op) *
+                  width;
+
+    // --- ALMs: arithmetic, control, argument interfaces. Unrolled copies
+    // share control/steering logic, so ALMs grow sublinearly in the width.
+    const double alm_width = 1.0 + kWidthAlmFrac * (width - 1.0);
+    double alms = (k.static_fp32_ops * kAlmsPerFp32Op +
+                   k.static_fp64_ops * kAlmsPerFp64Op +
+                   k.static_int_ops * kAlmsPerIntOp +
+                   k.static_branches * kAlmsPerBranch) *
+                  alm_width;
+    alms += k.accessor_args * (k.pass_accessor_objects ? kAlmsPerAccessorObjArg
+                                                       : kAlmsPerPointerArg);
+
+    // --- BRAMs: local memory. Dynamically-sized DPCT accessors force the
+    // compiler to assume 16 KiB per array (Sec. 4); exact sizing via
+    // group_local_memory_for_overwrite uses the true footprint.
+    double brams = 0.0;
+    if (k.pattern != local_pattern::none && k.local_arrays > 0) {
+        const double bytes_per_array =
+            k.dynamic_local_size
+                ? kDynamicLocalBytes
+                : std::max(1.0, k.local_mem_bytes /
+                                    static_cast<double>(k.local_arrays));
+        const double blocks_per_array = std::ceil(bytes_per_array / kM20kBytes);
+        // Banked/replicated memories duplicate blocks to serve the ports the
+        // unrolled datapath requests; each M20K offers two ports.
+        const double port_copies =
+            k.pattern == local_pattern::banked
+                ? std::max(1.0, std::ceil(local_ports(k) / 2.0))
+                : 1.0;
+        brams = static_cast<double>(k.local_arrays) * blocks_per_array *
+                port_copies;
+    }
+    if (k.pass_accessor_objects)
+        brams += k.accessor_args * kBramsPerAccessorObjArg;
+
+    // --- Arbitration logic for congested local memories (Sec. 5.2, case 3).
+    if (k.pattern == local_pattern::congested)
+        alms += k.local_arrays * local_ports(k) * kAlmsPerArbiterPort;
+
+    u.alms = alms * repl;
+    u.brams = brams * repl;
+    u.dsps = dsps * repl;
+
+    u.alm_frac = u.alms / static_cast<double>(dev.total_alms);
+    u.bram_frac = u.brams / static_cast<double>(dev.total_brams);
+    u.dsp_frac = u.dsps / static_cast<double>(dev.total_dsps);
+
+    u.fmax_mhz = estimate_fmax(k, dev, u.alm_frac);
+
+    // Timing violations the paper reports: unrolling a loop that accesses
+    // arbiter-managed local memory (Sec. 5.2, case 3); unroll/SIMD beyond the
+    // banking limit (Sec. 5.2, case 1: LavaMD past 30x); large work-groups on
+    // a congested memory system (Sec. 4).
+    if (k.pattern == local_pattern::congested && k.unroll > 1) {
+        u.timing_clean = false;
+        u.failure_reason = "timing violation: unrolled loop on arbiter-managed "
+                           "local memory";
+    } else if (k.pattern == local_pattern::banked && datapath_width(k) > 32.0) {
+        u.timing_clean = false;
+        u.failure_reason = "timing violation: datapath exceeds local-memory "
+                           "banking limit";
+    } else if (k.pattern == local_pattern::congested && k.wg_size > 128.0) {
+        u.timing_clean = false;
+        u.failure_reason = "timing violation: congested memory system with "
+                           "large work-group";
+    }
+
+    return u;
+}
+
+resource_usage estimate_design_resources(std::span<const kernel_stats> kernels,
+                                         const device_spec& dev) {
+    resource_usage total;
+    total.alms = kShellAlmFrac * static_cast<double>(dev.total_alms);
+    total.brams = kShellBramFrac * static_cast<double>(dev.total_brams);
+    total.dsps = 0.0;
+    total.fmax_mhz = dev.fmax_mhz;
+
+    for (const auto& k : kernels) {
+        const resource_usage u = estimate_kernel_resources(k, dev);
+        total.alms += u.alms;
+        total.brams += u.brams;
+        total.dsps += u.dsps;
+        total.fmax_mhz = std::min(total.fmax_mhz, u.fmax_mhz);
+        if (!u.timing_clean && total.timing_clean) {
+            total.timing_clean = false;
+            total.failure_reason = k.name + ": " + u.failure_reason;
+        }
+    }
+
+    total.alm_frac = total.alms / static_cast<double>(dev.total_alms);
+    total.bram_frac = total.brams / static_cast<double>(dev.total_brams);
+    total.dsp_frac = total.dsps / static_cast<double>(dev.total_dsps);
+
+    if (total.alm_frac > kFitLimit || total.bram_frac > kFitLimit ||
+        total.dsp_frac > kFitLimit) {
+        total.fits = false;
+        if (total.failure_reason.empty())
+            total.failure_reason = "placement failure: design exceeds device "
+                                   "resources";
+    }
+    return total;
+}
+
+resource_usage estimate_design_resources(const std::vector<kernel_stats>& kernels,
+                                         const device_spec& dev) {
+    return estimate_design_resources(
+        std::span<const kernel_stats>(kernels.data(), kernels.size()), dev);
+}
+
+}  // namespace altis::perf

@@ -1,0 +1,86 @@
+// FPGA synthesis estimator: predicts ALM/BRAM/DSP utilization and achievable
+// kernel frequency (Fmax) for a design (= the set of kernels compiled into
+// one bitstream), and decides whether the design fits. This substitutes for
+// Quartus place-and-route in the reproduction (DESIGN.md Sec. 2) and
+// regenerates Table 3. It also reproduces the paper's qualitative synthesis
+// failures: SRAD's eleven accessor-object arguments exceeding the Stratix 10
+// (Sec. 4) and timing violations from over-unrolling congested local memory
+// (Sec. 5.2, case 3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perf/device.hpp"
+#include "perf/kernel_stats.hpp"
+
+namespace altis::perf {
+
+/// Estimated utilization of one design on one FPGA.
+struct resource_usage {
+    double alms = 0.0;
+    double brams = 0.0;  ///< M20K blocks
+    double dsps = 0.0;
+    double fmax_mhz = 0.0;
+
+    double alm_frac = 0.0;   ///< fraction of device total
+    double bram_frac = 0.0;
+    double dsp_frac = 0.0;
+
+    bool fits = true;           ///< placement succeeds
+    bool timing_clean = true;   ///< no timing violations at fmax_mhz
+    std::string failure_reason; ///< set when !fits or !timing_clean
+};
+
+/// Resources of a single kernel (before the fixed board interface).
+[[nodiscard]] resource_usage estimate_kernel_resources(const kernel_stats& k,
+                                                       const device_spec& dev);
+
+/// Resources and Fmax of a whole design: sum of kernel resources plus the
+/// fixed board interface / BSP shell; Fmax is the minimum over kernels.
+[[nodiscard]] resource_usage estimate_design_resources(
+    std::span<const kernel_stats> kernels, const device_spec& dev);
+
+/// Convenience overload.
+[[nodiscard]] resource_usage estimate_design_resources(
+    const std::vector<kernel_stats>& kernels, const device_spec& dev);
+
+namespace calibration {
+// Fixed board interface (BSP shell: PCIe, DDR controllers) -- a fraction of
+// the device every bitstream pays even with an empty kernel.
+inline constexpr double kShellAlmFrac = 0.08;
+inline constexpr double kShellBramFrac = 0.035;
+
+// Per-operation datapath costs. Unrolled/vectorized copies of a loop body
+// share control logic, so ALMs grow with kWidthAlmFrac per extra copy while
+// DSPs replicate fully.
+inline constexpr double kAlmsPerFp32Op = 200.0;
+inline constexpr double kAlmsPerFp64Op = 1000.0;
+inline constexpr double kWidthAlmFrac = 0.35;
+inline constexpr double kAlmsPerIntOp = 70.0;
+inline constexpr double kAlmsPerBranch = 250.0;
+inline constexpr double kDspsPerFp32Op = 1.0;   // one FMA per DSP
+inline constexpr double kDspsPerFp64Op = 4.0;
+inline constexpr double kM20kBytes = 2560.0;    // 20 kbit
+
+// Kernel argument interfaces. Passing a SYCL *accessor object* forces its
+// member functions to be synthesized (Sec. 4) -- an order of magnitude more
+// logic than a raw pointer interface.
+inline constexpr double kAlmsPerPointerArg = 900.0;
+// Calibrated so that eleven accessor objects exceed the Stratix 10 while the
+// pointer-passing rewrite fits comfortably (Sec. 4, SRAD).
+inline constexpr double kAlmsPerAccessorObjArg = 75000.0;
+inline constexpr double kBramsPerAccessorObjArg = 24.0;
+
+// Dynamically-sized DPCT local accessors reserve 16 KiB each (Sec. 4).
+inline constexpr double kDynamicLocalBytes = 16.0 * 1024.0;
+
+// Arbitration logic per congested local array.
+inline constexpr double kAlmsPerArbiterPort = 1400.0;
+
+// Fraction of a resource class that can be used before placement fails.
+inline constexpr double kFitLimit = 0.94;
+}  // namespace calibration
+
+}  // namespace altis::perf

@@ -1,0 +1,40 @@
+#include "rng/philox.hpp"
+
+namespace altis::rng {
+
+namespace {
+
+constexpr std::uint32_t kM0 = 0xD2511F53u;
+constexpr std::uint32_t kM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void mulhilo(std::uint32_t a, std::uint32_t b, std::uint32_t& hi,
+                    std::uint32_t& lo) {
+    const std::uint64_t p = static_cast<std::uint64_t>(a) * b;
+    hi = static_cast<std::uint32_t>(p >> 32);
+    lo = static_cast<std::uint32_t>(p);
+}
+
+inline philox4x32::counter_t round(const philox4x32::counter_t& ctr,
+                                   const philox4x32::key_t& key) {
+    std::uint32_t hi0, lo0, hi1, lo1;
+    mulhilo(kM0, ctr[0], hi0, lo0);
+    mulhilo(kM1, ctr[2], hi1, lo1);
+    return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+philox4x32::counter_t philox4x32::block(counter_t ctr, key_t key) {
+    for (int r = 0; r < 10; ++r) {
+        ctr = round(ctr, key);
+        if (r < 9) {
+            key[0] += kW0;
+            key[1] += kW1;
+        }
+    }
+    return ctr;
+}
+
+}  // namespace altis::rng

@@ -1,0 +1,55 @@
+// Philox4x32-10 counter-based generator (Salmon et al., SC'11) -- the engine
+// oneMKL supplies as philox4x32x10, which DPCT substitutes for cuRAND's
+// XORWOW when migrating Raytracing (paper Sec. 3.3). Counter-based: ideal
+// for per-work-item streams (no stored state, just counter = item id).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace altis::rng {
+
+class philox4x32 {
+public:
+    using counter_t = std::array<std::uint32_t, 4>;
+    using key_t = std::array<std::uint32_t, 2>;
+
+    /// One 10-round Philox4x32 block: 128 bits of output per counter value.
+    [[nodiscard]] static counter_t block(counter_t ctr, key_t key);
+
+    philox4x32(std::uint64_t seed, std::uint64_t stream = 0)
+        : key_{static_cast<std::uint32_t>(seed),
+               static_cast<std::uint32_t>(seed >> 32)},
+          ctr_{static_cast<std::uint32_t>(stream),
+               static_cast<std::uint32_t>(stream >> 32), 0u, 0u} {}
+
+    std::uint32_t next_u32() {
+        if (idx_ == 0) {
+            out_ = block(ctr_, key_);
+            // 128-bit counter increment.
+            for (int i = 0; i < 4; ++i)
+                if (++ctr_[static_cast<std::size_t>(i)] != 0u) break;
+        }
+        const std::uint32_t v = out_[idx_];
+        idx_ = (idx_ + 1) % 4;
+        return v;
+    }
+
+    float next_float() {
+        return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    double next_double() {
+        const std::uint64_t hi = next_u32();
+        const std::uint64_t lo = next_u32();
+        return static_cast<double>((hi << 21) ^ lo) * (1.0 / 9007199254740992.0);
+    }
+
+private:
+    key_t key_;
+    counter_t ctr_;
+    counter_t out_{};
+    std::size_t idx_ = 0;
+};
+
+}  // namespace altis::rng

@@ -1,0 +1,27 @@
+#include "rng/xorwow.hpp"
+
+namespace altis::rng {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+void xorwow::seed_state(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    s_.x = static_cast<std::uint32_t>(splitmix64(s));
+    s_.y = static_cast<std::uint32_t>(splitmix64(s));
+    s_.z = static_cast<std::uint32_t>(splitmix64(s));
+    s_.w = static_cast<std::uint32_t>(splitmix64(s));
+    s_.v = static_cast<std::uint32_t>(splitmix64(s));
+    s_.d = static_cast<std::uint32_t>(splitmix64(s));
+    // The xorwow recurrence has a fixed point at v == 0 only when the whole
+    // x..v state is zero; splitmix cannot produce that for any seed, but be
+    // explicit for safety.
+    if ((s_.x | s_.y | s_.z | s_.w | s_.v) == 0u) s_.v = 1u;
+}
+
+}  // namespace altis::rng

@@ -1,0 +1,58 @@
+// XORWOW generator -- the default engine of cuRAND, used by the original
+// CUDA Raytracing in Altis (paper Sec. 3.3). Marsaglia's xorwow recurrence
+// with a Weyl counter, matching the cuRAND XORWOW sequence for a directly
+// initialized state.
+//
+// Seeding note: cuRAND's curand_init performs an unpublished state scramble;
+// we document and use a splitmix64-based fill instead, so streams differ
+// from cuRAND for the same seed even though the recurrence is identical.
+#pragma once
+
+#include <cstdint>
+
+namespace altis::rng {
+
+class xorwow {
+public:
+    /// Directly initialized state (for known-answer tests).
+    struct state {
+        std::uint32_t x, y, z, w, v, d;
+    };
+
+    explicit xorwow(std::uint64_t seed) { seed_state(seed); }
+    explicit xorwow(const state& s) : s_(s) {}
+
+    /// Next 32-bit draw: Marsaglia xorwow + Weyl sequence (matches cuRAND).
+    std::uint32_t next_u32() {
+        std::uint32_t t = s_.x ^ (s_.x >> 2);
+        s_.x = s_.y;
+        s_.y = s_.z;
+        s_.z = s_.w;
+        s_.w = s_.v;
+        s_.v = (s_.v ^ (s_.v << 4)) ^ (t ^ (t << 1));
+        s_.d += 362437u;
+        return s_.v + s_.d;
+    }
+
+    /// Uniform in [0,1) with 24-bit resolution, like curand_uniform's scale.
+    float next_float() {
+        return static_cast<float>(next_u32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    double next_double() {
+        const std::uint64_t hi = next_u32();
+        const std::uint64_t lo = next_u32();
+        return static_cast<double>((hi << 21) ^ lo) * (1.0 / 9007199254740992.0);
+    }
+
+    [[nodiscard]] const state& current_state() const { return s_; }
+
+private:
+    void seed_state(std::uint64_t seed);
+    state s_{};
+};
+
+/// splitmix64 step -- also used to derive per-work-item seeds in kernels.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& x);
+
+}  // namespace altis::rng

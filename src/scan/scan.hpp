@@ -1,0 +1,53 @@
+// Prefix-sum implementations and their device descriptors. The paper tells a
+// three-part scan story for the `Where` application (Sec. 3.3, 5.3,
+// Listing 2):
+//  1) CUDA's library scan (CUB-based) is the baseline;
+//  2) DPCT migrates it to oneDPL's scan, which is ~50% slower on RTX 2080;
+//  3) oneDPL has no FPGA-optimized scan, so a custom unrolled Single-Task
+//     scan is written for FPGAs (up to 100x faster there than oneDPL's
+//     GPU-shaped scan).
+// All three are implemented: serial reference, a blocked-parallel scan with
+// the multi-pass structure of the library scans, and the Listing-2 kernel.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "perf/kernel_stats.hpp"
+#include "sycl/thread_pool.hpp"
+
+namespace altis::scan {
+
+/// Exclusive serial scan; out[0] = 0. out may alias in.
+void exclusive_scan_serial(std::span<const int> in, std::span<int> out);
+
+/// Inclusive serial scan. out may alias in.
+void inclusive_scan_serial(std::span<const int> in, std::span<int> out);
+
+/// Blocked three-phase exclusive scan (local scans, block-sum scan, offset
+/// add) -- the structure oneDPL/CUB use on GPUs. Functionally parallel via
+/// the thread pool. out must not alias in.
+void exclusive_scan_blocked(std::span<const int> in, std::span<int> out,
+                            syclite::thread_pool& pool,
+                            std::size_t block = 4096);
+
+/// The custom FPGA scan of Listing 2: a single pipelined loop carrying the
+/// running sum, unrolled by 2. Semantically exclusive_scan over `results`
+/// where prefix[0] = 0 and prefix[i] = prefix[i-1] + results[i] (note: the
+/// paper's kernel skips results[0], reproduced faithfully).
+void exclusive_scan_fpga_custom(std::span<const int> results,
+                                std::span<int> prefix);
+
+// ---- device descriptors for the three implementations ----
+
+/// CUDA library scan on a GPU: two bandwidth-efficient passes.
+[[nodiscard]] perf::kernel_stats stats_scan_cuda(std::size_t n);
+
+/// oneDPL scan: same structure but ~3 passes over the data and extra
+/// work-item bookkeeping -- the source of the 50% GPU slowdown.
+[[nodiscard]] perf::kernel_stats stats_scan_onedpl(std::size_t n);
+
+/// Listing-2 Single-Task scan for FPGAs: II=1, unroll 2, one pass.
+[[nodiscard]] perf::kernel_stats stats_scan_fpga_custom(std::size_t n);
+
+}  // namespace altis::scan

@@ -1,0 +1,122 @@
+// Buffers and accessors. Buffers own host-side storage (this reproduction
+// executes functionally on the host; device residency is simulated by the
+// perf models). Accessors optionally count element accesses so property
+// tests can validate the byte counts declared in kernel_stats descriptors
+// against the real access stream (DESIGN.md Sec. 4).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace syclite {
+
+enum class access_mode { read, write, read_write, discard_write };
+
+namespace detail {
+
+/// Global switch for access counting; off by default (hot-path cost is one
+/// predictable branch). Enable via scoped_access_counting in tests.
+inline std::atomic<bool> counting_enabled{false};
+
+struct access_counter {
+    std::atomic<std::uint64_t> accesses{0};
+};
+
+}  // namespace detail
+
+/// RAII enabler for accessor access-counting.
+class scoped_access_counting {
+public:
+    scoped_access_counting() { detail::counting_enabled.store(true); }
+    ~scoped_access_counting() { detail::counting_enabled.store(false); }
+    scoped_access_counting(const scoped_access_counting&) = delete;
+    scoped_access_counting& operator=(const scoped_access_counting&) = delete;
+};
+
+struct use_host_ptr_t {};
+inline constexpr use_host_ptr_t use_host_ptr{};
+
+template <typename T>
+class buffer;
+
+/// Lightweight view into a buffer, handed out by handler::get_access.
+/// Copyable into kernels by value, like a SYCL accessor.
+template <typename T>
+class accessor {
+public:
+    accessor() = default;
+
+    T& operator[](std::size_t i) const {
+        if (detail::counting_enabled.load(std::memory_order_relaxed) &&
+            counter_ != nullptr)
+            counter_->accesses.fetch_add(1, std::memory_order_relaxed);
+        return ptr_[i];
+    }
+
+    [[nodiscard]] T* get_pointer() const { return ptr_; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] access_mode mode() const { return mode_; }
+
+private:
+    friend class buffer<T>;
+    accessor(T* ptr, std::size_t count, access_mode mode,
+             detail::access_counter* counter)
+        : ptr_(ptr), count_(count), mode_(mode), counter_(counter) {}
+
+    T* ptr_ = nullptr;
+    std::size_t count_ = 0;
+    access_mode mode_ = access_mode::read_write;
+    detail::access_counter* counter_ = nullptr;
+};
+
+template <typename T>
+class buffer {
+public:
+    /// Uninitialized device-only buffer.
+    explicit buffer(std::size_t count) : data_(count) {}
+
+    /// Copy-in from host data; no write-back.
+    buffer(const T* src, std::size_t count) : data_(src, src + count) {}
+
+    /// Copy-in from host data; contents are written back to `src` when the
+    /// buffer is destroyed (SYCL host-pointer semantics).
+    buffer(T* src, std::size_t count, use_host_ptr_t)
+        : data_(src, src + count), writeback_(src) {}
+
+    ~buffer() {
+        if (writeback_ != nullptr)
+            std::memcpy(writeback_, data_.data(), data_.size() * sizeof(T));
+    }
+
+    buffer(const buffer&) = delete;
+    buffer& operator=(const buffer&) = delete;
+    buffer(buffer&&) = delete;
+    buffer& operator=(buffer&&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] std::size_t byte_size() const { return data_.size() * sizeof(T); }
+
+    /// Host-side view (valid because storage is host memory).
+    [[nodiscard]] T* host_data() { return data_.data(); }
+    [[nodiscard]] const T* host_data() const { return data_.data(); }
+
+    [[nodiscard]] accessor<T> access(access_mode mode) {
+        return accessor<T>(data_.data(), data_.size(), mode, &counter_);
+    }
+
+    [[nodiscard]] std::uint64_t access_count() const {
+        return counter_.accesses.load();
+    }
+    void reset_access_count() { counter_.accesses.store(0); }
+
+private:
+    std::vector<T> data_;
+    T* writeback_ = nullptr;
+    detail::access_counter counter_;
+};
+
+}  // namespace syclite

@@ -1,0 +1,81 @@
+// Analogue of the SubmitComputeUnits helper from Intel's oneAPI samples
+// repository, which the paper uses to replicate Single-Task kernels
+// (Sec. 5.1), plus the custom ND-Range replication helper the authors had to
+// write themselves because the samples only cover Single-Task.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sycl/queue.hpp"
+
+namespace syclite {
+
+/// Submits `units` copies of a Single-Task kernel as one dataflow group.
+/// Each copy receives its unit index and is expected to process its share of
+/// the work (the helper does not split data itself, exactly like the
+/// original). Timing-wise each copy carries replication = units, and the
+/// group overlaps, so the modeled wall time is the replicated design's.
+template <typename F>
+std::vector<event> submit_compute_units(queue& q, int units,
+                                        perf::kernel_stats stats, F&& f) {
+    if (units < 1) throw std::invalid_argument("submit_compute_units: units >= 1");
+    stats.replication = units;
+    q.begin_dataflow();
+    for (int unit = 0; unit < units; ++unit) {
+        q.submit([&](handler& h) {
+            perf::kernel_stats s = stats;
+            s.name += "_cu" + std::to_string(unit);
+            h.single_task(s, [f, unit]() { f(unit); });
+        });
+    }
+    return q.end_dataflow();
+}
+
+/// The custom ND-Range replication helper (Sec. 5.1): instantiates the
+/// kernel `units` times and distributes the work-groups among the copies by
+/// a block partition of the group index space. f(nd_item, unit).
+template <int Dims, typename F>
+std::vector<event> submit_nd_range_units(queue& q, int units,
+                                         nd_range<Dims> ndr,
+                                         perf::kernel_stats stats, F&& f) {
+    if (units < 1)
+        throw std::invalid_argument("submit_nd_range_units: units >= 1");
+    static_assert(Dims == 1, "work distribution implemented for 1-D ranges");
+    const std::size_t groups = ndr.get_group_range()[0];
+    const std::size_t wg = ndr.get_local_range()[0];
+    // Each copy is submitted with its own share of the work-groups, so the
+    // per-copy descriptor keeps replication = 1 (the handler overwrites the
+    // geometry per copy); the whole-design descriptor used for resource
+    // estimation carries the real replication factor.
+    stats.replication = 1;
+    q.begin_dataflow();
+    for (int unit = 0; unit < units; ++unit) {
+        const std::size_t begin =
+            groups * static_cast<std::size_t>(unit) /
+            static_cast<std::size_t>(units);
+        const std::size_t end = groups * (static_cast<std::size_t>(unit) + 1) /
+                                static_cast<std::size_t>(units);
+        if (begin == end) continue;
+        q.submit([&](handler& h) {
+            perf::kernel_stats s = stats;
+            s.name += "_cu" + std::to_string(unit);
+            const std::size_t offset = begin * wg;
+            h.parallel_for(
+                nd_range<1>(range<1>((end - begin) * wg), range<1>(wg)), s,
+                [f, offset, unit](nd_item<1> it) {
+                    // Present the global id as if in the full range.
+                    const nd_item<1> shifted(
+                        id<1>(it.get_global_id(0) + offset),
+                        id<1>(it.get_local_id(0)),
+                        id<1>(it.get_group(0)),
+                        range<1>(it.get_global_range(0)),
+                        range<1>(it.get_local_range(0)));
+                    f(shifted, unit);
+                });
+        });
+    }
+    return q.end_dataflow();
+}
+
+}  // namespace syclite

@@ -1,0 +1,75 @@
+// Group collective algorithms for hierarchical kernels, mirroring the SYCL
+// 2020 group functions the migrated Altis reductions lean on. Each runs as a
+// sequence of parallel_for_work_item phases (implicit barriers between
+// phases), so results are deterministic and independent of scheduling.
+#pragma once
+
+#include <functional>
+
+#include "sycl/range.hpp"
+
+namespace syclite {
+
+/// Reduction over a 1-D work-group. `values` must hold one element per
+/// work-item (work-group local array); returns the combined value and leaves
+/// `values` clobbered (tree reduction in place, like the device versions).
+template <typename T, typename BinaryOp>
+T reduce_over_group(const group<1>& g, T* values, BinaryOp op) {
+    const std::size_t n = g.get_local_range(0);
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        g.parallel_for_work_item([&](h_item<1> it) {
+            const std::size_t lid = it.get_local_id(0);
+            if (lid % (2 * stride) == 0 && lid + stride < n)
+                values[lid] = op(values[lid], values[lid + stride]);
+        });
+    }
+    return values[0];
+}
+
+/// Exclusive scan over a 1-D work-group's local array, in place
+/// (Blelloch up-/down-sweep across barrier phases). Requires a power-of-two
+/// group size. Returns the total.
+template <typename T, typename BinaryOp>
+T exclusive_scan_over_group(const group<1>& g, T* values, T identity,
+                            BinaryOp op) {
+    const std::size_t n = g.get_local_range(0);
+    if ((n & (n - 1)) != 0)
+        throw std::invalid_argument(
+            "exclusive_scan_over_group: group size must be a power of two");
+    // Up-sweep.
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        g.parallel_for_work_item([&](h_item<1> it) {
+            const std::size_t lid = it.get_local_id(0);
+            const std::size_t idx = (lid + 1) * 2 * stride - 1;
+            if (idx < n) values[idx] = op(values[idx], values[idx - stride]);
+        });
+    }
+    const T total = values[n - 1];
+    // Down-sweep.
+    g.parallel_for_work_item([&](h_item<1> it) {
+        if (it.get_local_id(0) == 0) values[n - 1] = identity;
+    });
+    for (std::size_t stride = n / 2; stride >= 1; stride /= 2) {
+        g.parallel_for_work_item([&](h_item<1> it) {
+            const std::size_t lid = it.get_local_id(0);
+            const std::size_t idx = (lid + 1) * 2 * stride - 1;
+            if (idx < n) {
+                const T left = values[idx - stride];
+                values[idx - stride] = values[idx];
+                values[idx] = op(values[idx], left);
+            }
+        });
+        if (stride == 1) break;
+    }
+    return total;
+}
+
+/// Broadcast the value held by `source` work-item to all items' slots.
+template <typename T>
+void broadcast_over_group(const group<1>& g, T* values, std::size_t source) {
+    const T v = values[source];
+    g.parallel_for_work_item(
+        [&](h_item<1> it) { values[it.get_local_id(0)] = v; });
+}
+
+}  // namespace syclite

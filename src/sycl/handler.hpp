@@ -1,0 +1,116 @@
+// Command-group handler: collects accessor requests and exactly one kernel
+// launch per submission, mirroring sycl::handler. The kernel's structure
+// descriptor (perf::kernel_stats) rides along with the launch; work geometry
+// is always overwritten from the launch range so descriptors cannot disagree
+// with the code.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "perf/kernel_stats.hpp"
+#include "sycl/buffer.hpp"
+#include "sycl/range.hpp"
+#include "sycl/thread_pool.hpp"
+
+namespace syclite {
+
+namespace perf = altis::perf;
+
+class queue;
+
+class handler {
+public:
+    template <typename T>
+    [[nodiscard]] accessor<T> get_access(buffer<T>& buf, access_mode mode) {
+        return buf.access(mode);
+    }
+
+    /// FPGA Single-Task kernel (Sec. 5.3): f takes no arguments.
+    template <typename F>
+    void single_task(perf::kernel_stats stats, F&& f) {
+        stats.form = perf::kernel_form::single_task;
+        stats.global_items = 1.0;
+        stats.wg_size = 1.0;
+        set_kernel(std::move(stats),
+                   [fn = std::forward<F>(f)](thread_pool&) { fn(); });
+    }
+
+    /// Opaque library call (oneDPL/oneMKL analogue): executes `f()` on the
+    /// host and charges the descriptor *unmodified* -- library internals
+    /// (multi-pass structure, work geometry) are described by the stats, not
+    /// by how we invoke them functionally.
+    template <typename F>
+    void library_call(perf::kernel_stats stats, F&& f) {
+        set_kernel(std::move(stats),
+                   [fn = std::forward<F>(f)](thread_pool&) { fn(); });
+    }
+
+    /// Classic ND-Range kernel: f(nd_item<Dims>). Work-groups run in
+    /// parallel on the pool; items within a group run sequentially (no
+    /// mid-kernel barriers -- use parallel_for_work_group for those).
+    template <int Dims, typename F>
+    void parallel_for(nd_range<Dims> ndr, perf::kernel_stats stats, F&& f) {
+        stats.form = perf::kernel_form::nd_range;
+        stats.global_items = static_cast<double>(ndr.get_global_range().size());
+        stats.wg_size = static_cast<double>(ndr.get_local_range().size());
+        set_kernel(std::move(stats), [ndr, fn = std::forward<F>(f)](
+                                         thread_pool& pool) {
+            const range<Dims> grange = ndr.get_group_range();
+            const range<Dims> lrange = ndr.get_local_range();
+            const range<Dims> global = ndr.get_global_range();
+            const std::size_t items_per_group = lrange.size();
+            pool.parallel_for(grange.size(), [&](std::size_t group_lin) {
+                const id<Dims> gid = detail::delinearize(group_lin, grange);
+                for (std::size_t lin = 0; lin < items_per_group; ++lin) {
+                    const id<Dims> local = detail::delinearize(lin, lrange);
+                    id<Dims> gidx;
+                    for (int d = 0; d < Dims; ++d)
+                        gidx[d] = gid[d] * lrange[d] + local[d];
+                    fn(nd_item<Dims>(gidx, local, gid, global, lrange));
+                }
+            });
+        });
+    }
+
+    /// Hierarchical kernel: f(group<Dims>). Phases created with
+    /// group::parallel_for_work_item are separated by implicit barriers.
+    template <int Dims, typename F>
+    void parallel_for_work_group(range<Dims> groups, range<Dims> local,
+                                 perf::kernel_stats stats, F&& f) {
+        stats.form = perf::kernel_form::nd_range;
+        stats.global_items = static_cast<double>(groups.size() * local.size());
+        stats.wg_size = static_cast<double>(local.size());
+        set_kernel(std::move(stats), [groups, local, fn = std::forward<F>(f)](
+                                         thread_pool& pool) {
+            range<Dims> global;
+            for (int d = 0; d < Dims; ++d) global[d] = groups[d] * local[d];
+            pool.parallel_for(groups.size(), [&](std::size_t group_lin) {
+                const id<Dims> gid = detail::delinearize(group_lin, groups);
+                fn(group<Dims>(gid, groups, local, global));
+            });
+        });
+    }
+
+    [[nodiscard]] bool has_kernel() const { return has_kernel_; }
+    [[nodiscard]] const perf::kernel_stats& stats() const { return stats_; }
+
+private:
+    friend class queue;
+
+    void set_kernel(perf::kernel_stats stats,
+                    std::function<void(thread_pool&)> exec) {
+        if (has_kernel_)
+            throw std::logic_error(
+                "handler: a command group may contain only one kernel launch");
+        stats_ = std::move(stats);
+        exec_ = std::move(exec);
+        has_kernel_ = true;
+    }
+
+    perf::kernel_stats stats_;
+    std::function<void(thread_pool&)> exec_;
+    bool has_kernel_ = false;
+};
+
+}  // namespace syclite

@@ -1,0 +1,95 @@
+// Inter-kernel pipes (Intel FPGA extension analogue). A pipe is a bounded
+// blocking FIFO connecting two kernels of one dataflow group; the optimized
+// KMeans design (paper Fig. 3) streams every point's mapping through a pipe
+// instead of bouncing it off global memory.
+//
+// Divergence from Intel SYCL: Intel pipes are static program-scope classes
+// (pipe<id, T, capacity>::write). syclite pipes are objects captured by
+// reference, which keeps them testable; capacity semantics are identical.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace syclite {
+
+class pipe_deadlock : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+template <typename T>
+class pipe {
+public:
+    explicit pipe(std::size_t capacity = 64)
+        : capacity_(capacity), ring_(capacity) {
+        if (capacity == 0) throw std::invalid_argument("pipe capacity must be > 0");
+    }
+
+    pipe(const pipe&) = delete;
+    pipe& operator=(const pipe&) = delete;
+
+    /// Blocking write; throws pipe_deadlock if the consumer never drains
+    /// (guards against kernels mistakenly run outside a dataflow group).
+    void write(const T& value) {
+        std::unique_lock lock(mutex_);
+        if (!not_full_.wait_for(lock, kDeadlockTimeout,
+                                [&] { return count_ < capacity_; }))
+            throw pipe_deadlock("pipe::write timed out -- are both kernels "
+                                "running in a dataflow group?");
+        ring_[(head_ + count_) % capacity_] = value;
+        ++count_;
+        not_empty_.notify_one();
+    }
+
+    /// Blocking read; throws pipe_deadlock if no producer ever writes.
+    T read() {
+        std::unique_lock lock(mutex_);
+        if (!not_empty_.wait_for(lock, kDeadlockTimeout,
+                                 [&] { return count_ > 0; }))
+            throw pipe_deadlock("pipe::read timed out -- are both kernels "
+                                "running in a dataflow group?");
+        T value = ring_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+        not_full_.notify_one();
+        return value;
+    }
+
+    [[nodiscard]] bool try_write(const T& value) {
+        std::lock_guard lock(mutex_);
+        if (count_ == capacity_) return false;
+        ring_[(head_ + count_) % capacity_] = value;
+        ++count_;
+        not_empty_.notify_one();
+        return true;
+    }
+
+    [[nodiscard]] bool try_read(T& value) {
+        std::lock_guard lock(mutex_);
+        if (count_ == 0) return false;
+        value = ring_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+        not_full_.notify_one();
+        return true;
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    static constexpr std::chrono::seconds kDeadlockTimeout{30};
+
+    std::size_t capacity_;
+    std::vector<T> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::mutex mutex_;
+    std::condition_variable not_full_, not_empty_;
+};
+
+}  // namespace syclite

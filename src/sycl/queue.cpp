@@ -1,0 +1,156 @@
+#include "sycl/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "perf/model.hpp"
+#include "perf/resource_model.hpp"
+
+namespace syclite {
+
+queue::queue(const perf::device_spec& dev, perf::runtime_kind rt)
+    : dev_(dev), rt_(rt) {}
+
+queue::queue(const std::string& device_name, perf::runtime_kind rt)
+    : queue(perf::device_by_name(device_name), rt) {}
+
+queue::~queue() {
+    // Abandoning a dataflow group would leak blocked threads; join them.
+    for (auto& t : pending_threads_)
+        if (t.joinable()) t.join();
+}
+
+event queue::record(double duration_ns) {
+    const double launch = perf::launch_overhead_ns(rt_, dev_);
+    const double submit = sim_now_ns_;
+    const double start = submit + launch;
+    const double end = start + duration_ns;
+    sim_now_ns_ = end;
+    non_kernel_ns_ += launch;
+    kernel_ns_ += duration_ns;
+    events_.emplace_back(submit, start, end);
+    return events_.back();
+}
+
+event queue::finish_submit(handler&& h) {
+    if (!h.has_kernel()) return event(sim_now_ns_, sim_now_ns_, sim_now_ns_);
+
+    if (in_dataflow_) {
+        pending_stats_.push_back(h.stats());
+        pending_threads_.emplace_back(
+            [this, exec = std::move(h.exec_)]() mutable {
+                try {
+                    exec(thread_pool::global());
+                } catch (...) {
+                    std::lock_guard lock(pending_error_mutex_);
+                    if (!pending_error_)
+                        pending_error_ = std::current_exception();
+                }
+            });
+        return event();  // timestamps assigned at end_dataflow()
+    }
+
+    h.exec_(thread_pool::global());
+    const double duration =
+        (dev_.is_fpga() && design_fmax_mhz_ > 0.0)
+            ? perf::fpga_kernel_time_ns(h.stats(), dev_, design_fmax_mhz_)
+            : perf::kernel_time_ns(h.stats(), dev_);
+    return record(duration);
+}
+
+void queue::set_design(const std::vector<perf::kernel_stats>& design_kernels) {
+    if (!dev_.is_fpga())
+        throw std::logic_error("queue::set_design: only meaningful on FPGAs");
+    design_fmax_mhz_ =
+        perf::estimate_design_resources(design_kernels, dev_).fmax_mhz;
+}
+
+void queue::begin_dataflow() {
+    if (in_dataflow_)
+        throw std::logic_error("queue: dataflow groups cannot nest");
+    in_dataflow_ = true;
+}
+
+std::vector<event> queue::end_dataflow() {
+    if (!in_dataflow_)
+        throw std::logic_error("queue: end_dataflow without begin_dataflow");
+    in_dataflow_ = false;
+
+    for (auto& t : pending_threads_) t.join();
+    pending_threads_.clear();
+    if (pending_error_) {
+        pending_stats_.clear();
+        std::exception_ptr err = std::exchange(pending_error_, nullptr);
+        std::rethrow_exception(err);
+    }
+
+    // Simulated overlap: every kernel of the group launches together; the
+    // group completes with its slowest member. On FPGA all kernels share one
+    // bitstream, so each is clocked at the design Fmax.
+    std::vector<double> durations;
+    durations.reserve(pending_stats_.size());
+    if (dev_.is_fpga()) {
+        const double fmax =
+            design_fmax_mhz_ > 0.0
+                ? design_fmax_mhz_
+                : perf::estimate_design_resources(pending_stats_, dev_).fmax_mhz;
+        for (const auto& s : pending_stats_)
+            durations.push_back(perf::fpga_kernel_time_ns(s, dev_, fmax));
+    } else {
+        for (const auto& s : pending_stats_)
+            durations.push_back(perf::kernel_time_ns(s, dev_));
+    }
+    pending_stats_.clear();
+
+    const double launch = perf::launch_overhead_ns(rt_, dev_);
+    const double submit = sim_now_ns_;
+    const double start = submit + launch;
+    std::vector<event> evs;
+    double group_end = start;
+    for (double d : durations) {
+        evs.emplace_back(submit, start, start + d);
+        group_end = std::max(group_end, start + d);
+    }
+    non_kernel_ns_ += launch * static_cast<double>(durations.size());
+    kernel_ns_ += group_end - start;  // wall-clock kernel region of the group
+    sim_now_ns_ = group_end +
+                  launch * std::max<double>(0.0,
+                                            static_cast<double>(durations.size()) - 1.0);
+    events_.insert(events_.end(), evs.begin(), evs.end());
+    return evs;
+}
+
+void queue::wait() {
+    if (in_dataflow_)
+        throw std::logic_error("queue: wait() inside a dataflow group -- call "
+                               "end_dataflow() first");
+    const double sync = perf::sync_overhead_ns(rt_, dev_);
+    sim_now_ns_ += sync;
+    non_kernel_ns_ += sync;
+}
+
+void queue::annotate_overhead_ns(double ns) {
+    sim_now_ns_ += ns;
+    non_kernel_ns_ += ns;
+}
+
+void queue::annotate_transfer(double bytes) {
+    const double t = perf::transfer_ns(rt_, dev_, bytes);
+    sim_now_ns_ += t;
+    non_kernel_ns_ += t;
+}
+
+void queue::reset_timers() {
+    sim_now_ns_ = 0.0;
+    kernel_ns_ = 0.0;
+    non_kernel_ns_ = 0.0;
+    events_.clear();
+}
+
+void queue::charge_setup() {
+    const double t = perf::setup_overhead_ns(rt_, dev_);
+    sim_now_ns_ += t;
+    non_kernel_ns_ += t;
+}
+
+}  // namespace syclite

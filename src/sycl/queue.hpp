@@ -1,0 +1,132 @@
+// Queue, event and the simulated timeline. Kernels execute functionally on
+// the host; each submission advances a simulated clock using the perf models
+// of the queue's device and runtime (DESIGN.md Sec. 4):
+//
+//   submit --(launch overhead: non-kernel)--> start --(kernel model)--> end
+//
+// Events expose the simulated start/end like sycl::event profiling info.
+// Dataflow groups (begin_dataflow/end_dataflow) run their kernels on real
+// concurrent threads -- required for pipe communication -- and overlap them
+// on the simulated timeline (paper Fig. 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "perf/device.hpp"
+#include "perf/overhead.hpp"
+#include "sycl/handler.hpp"
+
+namespace syclite {
+
+/// Completed-command handle with simulated profiling timestamps.
+class event {
+public:
+    event() = default;
+    event(double submit_ns, double start_ns, double end_ns)
+        : submit_ns_(submit_ns), start_ns_(start_ns), end_ns_(end_ns) {}
+
+    /// Analogue of info::event_profiling::command_submit/start/end.
+    [[nodiscard]] double profiling_submit_ns() const { return submit_ns_; }
+    [[nodiscard]] double profiling_start_ns() const { return start_ns_; }
+    [[nodiscard]] double profiling_end_ns() const { return end_ns_; }
+    [[nodiscard]] double duration_ns() const { return end_ns_ - start_ns_; }
+
+    void wait() const {}  // execution is synchronous; provided for API shape
+
+private:
+    double submit_ns_ = 0.0;
+    double start_ns_ = 0.0;
+    double end_ns_ = 0.0;
+};
+
+class queue {
+public:
+    explicit queue(const perf::device_spec& dev,
+                   perf::runtime_kind rt = perf::runtime_kind::sycl);
+    queue(const std::string& device_name,
+          perf::runtime_kind rt = perf::runtime_kind::sycl);
+    ~queue();
+
+    queue(const queue&) = delete;
+    queue& operator=(const queue&) = delete;
+
+    [[nodiscard]] const perf::device_spec& device() const { return dev_; }
+    [[nodiscard]] perf::runtime_kind runtime() const { return rt_; }
+
+    template <typename CGF>
+    event submit(CGF&& cgf) {
+        handler h;
+        cgf(h);
+        return finish_submit(std::move(h));
+    }
+
+    /// Host synchronization (cudaDeviceSynchronize / queue::wait analogue);
+    /// charges sync overhead to the non-kernel region.
+    void wait();
+
+    /// All kernels submitted until end_dataflow() run concurrently (real
+    /// threads; pipes may connect them) and overlap on the simulated
+    /// timeline. Nesting is not allowed.
+    void begin_dataflow();
+    /// Joins the dataflow kernels and returns their events.
+    std::vector<event> end_dataflow();
+
+    /// Modeled host->device / device->host copies; mirror the cudaMemcpy
+    /// calls of the original Altis code. Functionally a memcpy (buffers are
+    /// host-backed); on the timeline a PCIe transfer.
+    template <typename T>
+    void copy_to_device(buffer<T>& dst, const T* src) {
+        std::copy(src, src + dst.size(), dst.host_data());
+        annotate_transfer(static_cast<double>(dst.byte_size()));
+    }
+    template <typename T>
+    void copy_from_device(const buffer<T>& src, T* dst) {
+        std::copy(src.host_data(), src.host_data() + src.size(), dst);
+        annotate_transfer(static_cast<double>(src.byte_size()));
+    }
+    /// Timing-only transfer annotation (no functional copy).
+    void annotate_transfer(double bytes);
+
+    /// Charge arbitrary non-kernel time (library temp allocations, etc.).
+    void annotate_overhead_ns(double ns);
+
+    /// FPGA only: pin the design Fmax to that of a full bitstream (all
+    /// kernels compiled together); subsequent kernel timings use it instead
+    /// of per-kernel estimates. Matches simulate_region's design-level Fmax.
+    void set_design(const std::vector<perf::kernel_stats>& design_kernels);
+
+    // ---- simulated timeline ----
+    [[nodiscard]] double sim_now_ns() const { return sim_now_ns_; }
+    [[nodiscard]] double kernel_ns() const { return kernel_ns_; }
+    [[nodiscard]] double non_kernel_ns() const { return non_kernel_ns_; }
+    void reset_timers();
+    /// Charges the runtime's one-time setup cost (context/JIT) to the
+    /// non-kernel region; apps call this at the start of a timed region.
+    void charge_setup();
+
+    [[nodiscard]] const std::vector<event>& events() const { return events_; }
+
+private:
+    event finish_submit(handler&& h);
+    event record(double duration_ns);
+
+    const perf::device_spec& dev_;
+    perf::runtime_kind rt_;
+    double design_fmax_mhz_ = 0.0;  ///< 0: estimate per kernel
+
+    double sim_now_ns_ = 0.0;
+    double kernel_ns_ = 0.0;
+    double non_kernel_ns_ = 0.0;
+    std::vector<event> events_;
+
+    bool in_dataflow_ = false;
+    std::vector<perf::kernel_stats> pending_stats_;
+    std::vector<std::thread> pending_threads_;
+    std::exception_ptr pending_error_;
+    std::mutex pending_error_mutex_;
+};
+
+}  // namespace syclite

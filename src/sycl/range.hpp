@@ -1,0 +1,222 @@
+// Index-space types of the syclite runtime: range, id, nd_range, nd_item,
+// and the hierarchical work-group handles (group / h_item). Linearization
+// follows SYCL 2020: dimension 0 is slowest-varying.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace syclite {
+
+template <int Dims>
+class range {
+    static_assert(Dims >= 1 && Dims <= 3, "syclite supports 1-3 dimensions");
+
+public:
+    constexpr range() : v_{} {}
+    constexpr explicit range(std::size_t d0)
+        requires(Dims == 1)
+        : v_{d0} {}
+    constexpr range(std::size_t d0, std::size_t d1)
+        requires(Dims == 2)
+        : v_{d0, d1} {}
+    constexpr range(std::size_t d0, std::size_t d1, std::size_t d2)
+        requires(Dims == 3)
+        : v_{d0, d1, d2} {}
+
+    [[nodiscard]] constexpr std::size_t get(int dim) const { return v_[dim]; }
+    constexpr std::size_t& operator[](int dim) { return v_[dim]; }
+    constexpr std::size_t operator[](int dim) const { return v_[dim]; }
+
+    [[nodiscard]] constexpr std::size_t size() const {
+        std::size_t s = 1;
+        for (int d = 0; d < Dims; ++d) s *= v_[d];
+        return s;
+    }
+
+    friend constexpr bool operator==(const range& a, const range& b) {
+        for (int d = 0; d < Dims; ++d)
+            if (a.v_[d] != b.v_[d]) return false;
+        return true;
+    }
+
+private:
+    std::size_t v_[Dims];
+};
+
+template <int Dims>
+class id {
+    static_assert(Dims >= 1 && Dims <= 3);
+
+public:
+    constexpr id() : v_{} {}
+    constexpr explicit id(std::size_t d0)
+        requires(Dims == 1)
+        : v_{d0} {}
+    constexpr id(std::size_t d0, std::size_t d1)
+        requires(Dims == 2)
+        : v_{d0, d1} {}
+    constexpr id(std::size_t d0, std::size_t d1, std::size_t d2)
+        requires(Dims == 3)
+        : v_{d0, d1, d2} {}
+
+    [[nodiscard]] constexpr std::size_t get(int dim) const { return v_[dim]; }
+    constexpr std::size_t& operator[](int dim) { return v_[dim]; }
+    constexpr std::size_t operator[](int dim) const { return v_[dim]; }
+
+    friend constexpr bool operator==(const id& a, const id& b) {
+        for (int d = 0; d < Dims; ++d)
+            if (a.v_[d] != b.v_[d]) return false;
+        return true;
+    }
+
+private:
+    std::size_t v_[Dims];
+};
+
+namespace detail {
+
+template <int Dims>
+constexpr std::size_t linearize(const id<Dims>& i, const range<Dims>& r) {
+    std::size_t lin = i[0];
+    for (int d = 1; d < Dims; ++d) lin = lin * r[d] + i[d];
+    return lin;
+}
+
+template <int Dims>
+constexpr id<Dims> delinearize(std::size_t lin, const range<Dims>& r) {
+    id<Dims> out;
+    for (int d = Dims - 1; d >= 0; --d) {
+        out[d] = lin % r[d];
+        lin /= r[d];
+    }
+    return out;
+}
+
+}  // namespace detail
+
+template <int Dims>
+class nd_range {
+public:
+    constexpr nd_range(range<Dims> global, range<Dims> local)
+        : global_(global), local_(local) {
+        for (int d = 0; d < Dims; ++d)
+            if (local[d] == 0 || global[d] % local[d] != 0)
+                throw std::invalid_argument(
+                    "nd_range: global size must be a multiple of local size");
+    }
+
+    [[nodiscard]] constexpr range<Dims> get_global_range() const { return global_; }
+    [[nodiscard]] constexpr range<Dims> get_local_range() const { return local_; }
+    [[nodiscard]] constexpr range<Dims> get_group_range() const {
+        range<Dims> g;
+        for (int d = 0; d < Dims; ++d) g[d] = global_[d] / local_[d];
+        return g;
+    }
+
+private:
+    range<Dims> global_;
+    range<Dims> local_;
+};
+
+/// Work-item handle for classic ND-Range kernels. syclite executes the items
+/// of a work-group sequentially, so mid-kernel barriers are not available
+/// here -- kernels that need them use the hierarchical API (group/h_item),
+/// where barriers fall between parallel_for_work_item phases (DESIGN.md
+/// Sec. 4).
+template <int Dims>
+class nd_item {
+public:
+    nd_item(id<Dims> global, id<Dims> local, id<Dims> group, range<Dims> grange,
+            range<Dims> lrange)
+        : global_(global), local_(local), group_(group), grange_(grange),
+          lrange_(lrange) {}
+
+    [[nodiscard]] std::size_t get_global_id(int dim) const { return global_[dim]; }
+    [[nodiscard]] id<Dims> get_global_id() const { return global_; }
+    [[nodiscard]] std::size_t get_local_id(int dim) const { return local_[dim]; }
+    [[nodiscard]] std::size_t get_group(int dim) const { return group_[dim]; }
+    [[nodiscard]] std::size_t get_global_range(int dim) const { return grange_[dim]; }
+    [[nodiscard]] std::size_t get_local_range(int dim) const { return lrange_[dim]; }
+    [[nodiscard]] std::size_t get_global_linear_id() const {
+        return detail::linearize(global_, grange_);
+    }
+    [[nodiscard]] std::size_t get_local_linear_id() const {
+        return detail::linearize(local_, lrange_);
+    }
+
+    /// Barriers require concurrent work-items; see class comment.
+    [[noreturn]] void barrier() const {
+        throw std::logic_error(
+            "syclite: nd_item::barrier() is not executable -- rewrite the "
+            "kernel with the hierarchical parallel_for_work_group API");
+    }
+
+private:
+    id<Dims> global_, local_, group_;
+    range<Dims> grange_, lrange_;
+};
+
+/// Work-item handle inside a hierarchical phase.
+template <int Dims>
+class h_item {
+public:
+    h_item(id<Dims> global, id<Dims> local, range<Dims> grange, range<Dims> lrange)
+        : global_(global), local_(local), grange_(grange), lrange_(lrange) {}
+
+    [[nodiscard]] std::size_t get_global_id(int dim) const { return global_[dim]; }
+    [[nodiscard]] std::size_t get_local_id(int dim) const { return local_[dim]; }
+    [[nodiscard]] std::size_t get_local_linear_id() const {
+        return detail::linearize(local_, lrange_);
+    }
+    [[nodiscard]] std::size_t get_global_range(int dim) const { return grange_[dim]; }
+    [[nodiscard]] std::size_t get_local_range(int dim) const { return lrange_[dim]; }
+
+private:
+    id<Dims> global_, local_;
+    range<Dims> grange_, lrange_;
+};
+
+/// Work-group handle for hierarchical kernels. Each call to
+/// parallel_for_work_item runs one phase over all work-items of the group;
+/// consecutive phases are separated by an implicit group barrier, exactly as
+/// in SYCL's hierarchical parallelism.
+template <int Dims>
+class group {
+public:
+    group(id<Dims> group_id, range<Dims> group_range, range<Dims> local_range,
+          range<Dims> global_range)
+        : gid_(group_id), group_range_(group_range), local_range_(local_range),
+          global_range_(global_range) {}
+
+    [[nodiscard]] std::size_t get_group_id(int dim) const { return gid_[dim]; }
+    [[nodiscard]] std::size_t get_group_linear_id() const {
+        return detail::linearize(gid_, group_range_);
+    }
+    [[nodiscard]] std::size_t get_group_range(int dim) const {
+        return group_range_[dim];
+    }
+    [[nodiscard]] std::size_t get_local_range(int dim) const {
+        return local_range_[dim];
+    }
+
+    template <typename F>
+    void parallel_for_work_item(F&& f) const {
+        const std::size_t n = local_range_.size();
+        for (std::size_t lin = 0; lin < n; ++lin) {
+            const id<Dims> local = detail::delinearize(lin, local_range_);
+            id<Dims> global;
+            for (int d = 0; d < Dims; ++d)
+                global[d] = gid_[d] * local_range_[d] + local[d];
+            f(h_item<Dims>(global, local, global_range_, local_range_));
+        }
+        // Implicit work-group barrier here: the next phase only starts after
+        // every work-item finished this one.
+    }
+
+private:
+    id<Dims> gid_;
+    range<Dims> group_range_, local_range_, global_range_;
+};
+
+}  // namespace syclite

@@ -1,0 +1,15 @@
+// Umbrella header for the syclite runtime -- the SYCL-like programming model
+// this reproduction's applications are written against. See DESIGN.md Sec. 2
+// for how syclite substitutes for a real oneAPI/DPC++ installation.
+#pragma once
+
+#include "sycl/buffer.hpp"         // IWYU pragma: export
+#include "sycl/compute_units.hpp"     // IWYU pragma: export
+#include "sycl/group_algorithms.hpp"  // IWYU pragma: export
+#include "sycl/handler.hpp"  // IWYU pragma: export
+#include "sycl/pipe.hpp"     // IWYU pragma: export
+#include "sycl/queue.hpp"    // IWYU pragma: export
+#include "sycl/range.hpp"    // IWYU pragma: export
+#include "sycl/usm.hpp"      // IWYU pragma: export
+
+namespace sl = syclite;

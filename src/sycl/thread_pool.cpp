@@ -1,0 +1,94 @@
+#include "sycl/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace syclite {
+
+thread_pool::thread_pool(unsigned threads) {
+    unsigned n = threads;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw > 1 ? hw - 1 : 0;
+    }
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& t : workers_) t.join();
+}
+
+void thread_pool::run_job(job& j) {
+    // Chunked self-scheduling: amortizes the atomic across iterations while
+    // staying balanced for irregular per-index costs.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, j.n / ((workers_.size() + 1) * 8));
+    for (;;) {
+        const std::size_t begin = j.next.fetch_add(chunk);
+        if (begin >= j.n) break;
+        const std::size_t end = std::min(begin + chunk, j.n);
+        for (std::size_t i = begin; i < end; ++i) (*j.fn)(i);
+    }
+}
+
+void thread_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        job* j = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            j = current_;
+            if (j == nullptr) continue;
+            j->active_workers.fetch_add(1);
+        }
+        run_job(*j);
+        if (j->active_workers.fetch_sub(1) == 1) {
+            // Lock before notifying so the waiter cannot check the predicate
+            // and go to sleep between our decrement and the notification.
+            std::lock_guard lock(mutex_);
+            done_.notify_all();
+        }
+    }
+}
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::lock_guard submit_lock(submit_mutex_);
+    job j;
+    j.fn = &fn;
+    j.n = n;
+    {
+        std::lock_guard lock(mutex_);
+        current_ = &j;
+        ++generation_;
+    }
+    wake_.notify_all();
+    run_job(j);
+    {
+        // Wait for workers that picked up the job to drain before j dies.
+        std::unique_lock lock(mutex_);
+        current_ = nullptr;
+        done_.wait(lock, [&] { return j.active_workers.load() == 0; });
+    }
+}
+
+thread_pool& thread_pool::global() {
+    static thread_pool pool;
+    return pool;
+}
+
+}  // namespace syclite

@@ -1,0 +1,59 @@
+// Minimal work-sharing thread pool used to execute work-groups in parallel.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syclite {
+
+class thread_pool {
+public:
+    /// `threads` counts the workers in addition to the calling thread;
+    /// 0 requests std::thread::hardware_concurrency() - 1.
+    explicit thread_pool(unsigned threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Runs fn(i) for i in [0, n); blocks until complete. The calling thread
+    /// participates. fn must be safe to call concurrently for distinct i.
+    /// Safe to call from multiple threads (calls are serialized), which
+    /// dataflow groups with ND-Range members rely on.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    [[nodiscard]] unsigned worker_count() const {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /// Process-wide pool shared by all queues.
+    static thread_pool& global();
+
+private:
+    void worker_loop();
+
+    struct job {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> active_workers{0};
+    };
+
+    void run_job(job& j);
+
+    std::vector<std::thread> workers_;
+    std::mutex submit_mutex_;  ///< serializes concurrent parallel_for calls
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    job* current_ = nullptr;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace syclite

@@ -1,0 +1,61 @@
+// Unified Shared Memory emulation. The paper's FPGA boards (BittWare 520N,
+// DE10-Agilex) do not support USM: sycl::malloc_host queries return nullptr
+// (Sec. 3.2.1), which forced the authors to strip USM from Altis-SYCL. We
+// reproduce exactly that observable behaviour so the migration story is
+// testable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <stdexcept>
+
+#include "sycl/queue.hpp"
+
+namespace syclite {
+
+enum class usm_alloc_kind { host, device, shared };
+
+template <typename T>
+[[nodiscard]] T* usm_malloc(std::size_t count, const queue& q,
+                            usm_alloc_kind /*kind*/) {
+    if (!q.device().usm_supported) return nullptr;
+    return static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+}
+
+template <typename T>
+[[nodiscard]] T* malloc_host(std::size_t count, const queue& q) {
+    return usm_malloc<T>(count, q, usm_alloc_kind::host);
+}
+template <typename T>
+[[nodiscard]] T* malloc_device(std::size_t count, const queue& q) {
+    return usm_malloc<T>(count, q, usm_alloc_kind::device);
+}
+template <typename T>
+[[nodiscard]] T* malloc_shared(std::size_t count, const queue& q) {
+    return usm_malloc<T>(count, q, usm_alloc_kind::shared);
+}
+
+inline void usm_free(void* ptr, const queue& /*q*/) {
+    ::operator delete(ptr, std::align_val_t{64});
+}
+
+/// mem_advise advice values. The valid set is device-dependent (the DPCT
+/// warning the paper discusses): advising a device that does not support the
+/// hint is an error the runtime reports.
+enum class mem_advice { read_mostly, preferred_location, accessed_by };
+
+inline void mem_advise(const queue& q, const void* ptr, std::size_t /*bytes*/,
+                       mem_advice advice) {
+    if (ptr == nullptr)
+        throw std::invalid_argument("mem_advise: null allocation");
+    if (!q.device().usm_supported)
+        throw std::runtime_error("mem_advise: device has no USM support");
+    // GPUs accept all three hints; the CPU runtime only accepts read_mostly
+    // (others are device-placement hints that have no meaning on host).
+    if (q.device().kind == perf::device_kind::cpu &&
+        advice != mem_advice::read_mostly)
+        throw std::runtime_error(
+            "mem_advise: advice not supported on this device");
+}
+
+}  // namespace syclite

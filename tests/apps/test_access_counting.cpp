@@ -1,0 +1,81 @@
+// Descriptor-vs-reality cross-check (DESIGN.md Sec. 4): with accessor
+// access-counting enabled, the global-memory traffic a kernel actually
+// performs must match what its kernel_stats descriptor declares. This pins
+// the model inputs to the functional code for a kernel with an exact
+// element-to-byte mapping.
+#include <gtest/gtest.h>
+
+#include "apps/where/where.hpp"
+#include "sycl/syclite.hpp"
+
+namespace altis::apps {
+namespace {
+
+TEST(AccessCounting, WhereMarkKernelMatchesDescriptor) {
+    const std::size_t n = 4096;
+    where::params p;
+    p.n = n;
+    const auto table = where::make_table(p);
+
+    sl::queue q("rtx_2080");
+    sl::buffer<where::record> table_buf(table.data(), n);
+    sl::buffer<int> flags(n);
+
+    // Build the same descriptor the app submits.
+    const auto& dev = perf::device_by_name("rtx_2080");
+    perf::kernel_stats declared;
+    {
+        // Reuse the region builder: its first kernel is the mark kernel.
+        const auto region = where::region(Variant::sycl_opt, dev, 1);
+        declared = region.kernels.at(0).stats;
+    }
+
+    table_buf.reset_access_count();
+    flags.reset_access_count();
+    {
+        sl::scoped_access_counting counting;
+        q.submit([&](sl::handler& h) {
+            auto t = h.get_access(table_buf, sl::access_mode::read);
+            auto f = h.get_access(flags, sl::access_mode::discard_write);
+            const std::int32_t threshold = p.threshold;
+            h.parallel_for(
+                sl::nd_range<1>(sl::range<1>(n), sl::range<1>(256)), declared,
+                [=](sl::nd_item<1> it) {
+                    const std::size_t i = it.get_global_id(0);
+                    f[i] = t[i].key < threshold ? 1 : 0;
+                });
+        });
+        q.wait();
+    }
+
+    // One record read and one flag written per item.
+    EXPECT_EQ(table_buf.access_count(), n);
+    EXPECT_EQ(flags.access_count(), n);
+
+    // Bytes actually touched == bytes the descriptor declares per item.
+    const double counted_read_bytes =
+        static_cast<double>(table_buf.access_count()) * sizeof(where::record);
+    const double counted_written_bytes =
+        static_cast<double>(flags.access_count()) * sizeof(int);
+    EXPECT_DOUBLE_EQ(counted_read_bytes,
+                     declared.bytes_read * static_cast<double>(n));
+    EXPECT_DOUBLE_EQ(counted_written_bytes,
+                     declared.bytes_written * static_cast<double>(n));
+}
+
+TEST(AccessCounting, DisabledByDefaultEvenThroughKernels) {
+    const std::size_t n = 256;
+    sl::queue q("a100");
+    sl::buffer<int> buf(n);
+    q.submit([&](sl::handler& h) {
+        auto acc = h.get_access(buf, sl::access_mode::discard_write);
+        perf::kernel_stats k;
+        k.name = "fill";
+        h.parallel_for(sl::nd_range<1>(sl::range<1>(n), sl::range<1>(64)), k,
+                       [=](sl::nd_item<1> it) { acc[it.get_global_id(0)] = 1; });
+    });
+    EXPECT_EQ(buf.access_count(), 0u);
+}
+
+}  // namespace
+}  // namespace altis::apps

@@ -1,0 +1,147 @@
+#include "apps/dwt2d/dwt2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace altis::apps::dwt2d {
+namespace {
+
+TEST(Dwt2d, GoldenCompactsEnergyIntoLLBand) {
+    // A smooth low-frequency image: after kLevels decompositions the
+    // top-left approximation band holds the bulk of the energy. The LL band
+    // is 1/64 of the pixels, so >40% concentration demonstrates compaction.
+    params p{128, 128};
+    std::vector<float> img(p.pixels());
+    for (std::size_t i = 0; i < p.height; ++i)
+        for (std::size_t j = 0; j < p.width; ++j)
+            img[i * p.width + j] =
+                std::sin(static_cast<float>(i) * 0.05f) +
+                std::cos(static_cast<float>(j) * 0.04f);
+    golden(p, img);
+    const std::size_t llw = p.width >> kLevels, llh = p.height >> kLevels;
+    double ll_energy = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < p.height; ++i)
+        for (std::size_t j = 0; j < p.width; ++j) {
+            const double v = img[i * p.width + j];
+            total += v * v;
+            if (i < llh && j < llw) ll_energy += v * v;
+        }
+    EXPECT_GT(ll_energy / total, 0.4);
+}
+
+TEST(Dwt2d, GoldenConstantImageHasZeroDetail) {
+    params p{64, 64};
+    std::vector<float> img(p.pixels(), 8.0f);
+    golden(p, img);
+    // All detail (high-pass) coefficients of a constant signal are ~0.
+    const std::size_t llw = p.width >> 1;
+    double detail = 0.0;
+    for (std::size_t j = llw; j < p.width; ++j)
+        detail += std::abs(img[j]);  // first-level H band, top row
+    EXPECT_LT(detail / static_cast<double>(llw), 1e-3);
+}
+
+struct Case {
+    const char* device;
+    Variant variant;
+};
+
+class Dwt2dVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Dwt2dVariants, FunctionalRunVerifies) {
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = GetParam().device;
+    cfg.variant = GetParam().variant;
+    const AppResult r = run(cfg);
+    EXPECT_GT(r.kernel_ms, 0.0);
+    EXPECT_LE(r.error, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndVariants, Dwt2dVariants,
+    ::testing::Values(Case{"rtx_2080", Variant::cuda},
+                      Case{"rtx_2080", Variant::sycl_opt},
+                      Case{"xeon_6128", Variant::sycl_base},
+                      Case{"stratix_10", Variant::fpga_base},
+                      Case{"agilex", Variant::fpga_base}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+        return std::string(info.param.device) + "_" +
+               to_string(info.param.variant);
+    });
+
+// Sec. 5.4: no optimized FPGA version exists (would need an algorithmic
+// rewrite); requesting one is an error, and DWT2D is absent from Fig. 4/5.
+TEST(Dwt2d, NoOptimizedFpgaVersion) {
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "stratix_10";
+    cfg.variant = Variant::fpga_opt;
+    EXPECT_THROW(run(cfg), std::invalid_argument);
+    EXPECT_THROW(region(Variant::fpga_opt,
+                        perf::device_by_name("stratix_10"), 1),
+                 std::invalid_argument);
+}
+
+// Sec. 4: only 2 of the 14 kernel versions are synthesized per bitstream.
+TEST(Dwt2d, BitstreamSelectsTwoOfFourteenKernels) {
+    EXPECT_EQ(kTotalKernelVersions, 14);
+    const auto design = fpga_design(perf::device_by_name("stratix_10"), 3);
+    EXPECT_EQ(design.size(), static_cast<std::size_t>(kSynthesizedKernels));
+}
+
+TEST(Dwt2d, SharedMemoryIsCongested) {
+    const auto design = fpga_design(perf::device_by_name("stratix_10"), 1);
+    for (const auto& k : design)
+        EXPECT_EQ(k.pattern, perf::local_pattern::congested);
+}
+
+// The 9/7 lifting scheme is perfectly invertible: forward + inverse must
+// reproduce the input up to floating-point rounding.
+TEST(Dwt2d, PerfectReconstruction) {
+    params p{256, 256};
+    const std::vector<float> original = make_image(p);
+    std::vector<float> img = original;
+    golden(p, img);
+    inverse(p, img);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < img.size(); ++i)
+        worst = std::max(worst,
+                         static_cast<double>(std::abs(img[i] - original[i])));
+    EXPECT_LT(worst, 1e-2);  // float lifting across 3 levels
+}
+
+TEST(Dwt2d, ReconstructionAfterDeviceTransform) {
+    // The device path's coefficients must also invert back to the input.
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "xeon_6128";
+    cfg.variant = Variant::sycl_opt;
+    EXPECT_NO_THROW(run(cfg));  // run() already checks device == golden
+    params p = params::preset(1);
+    std::vector<float> img = make_image(p);
+    golden(p, img);
+    inverse(p, img);
+    const std::vector<float> original = make_image(p);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < img.size(); ++i)
+        worst = std::max(worst,
+                         static_cast<double>(std::abs(img[i] - original[i])));
+    EXPECT_LT(worst, 2e-2);
+}
+
+TEST(Dwt2d, RunMatchesRegionSimulation) {
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "rtx_2080";
+    cfg.variant = Variant::sycl_opt;
+    const AppResult r = run(cfg);
+    const auto& dev = perf::device_by_name(cfg.device);
+    const auto est = simulate_region(region(cfg.variant, dev, cfg.size), dev,
+                                     perf::runtime_kind::sycl);
+    EXPECT_NEAR(r.kernel_ms, est.kernel_ms(), r.kernel_ms * 0.02);
+}
+
+}  // namespace
+}  // namespace altis::apps::dwt2d

@@ -1,0 +1,163 @@
+// Algorithm-level property tests of the golden references -- invariants that
+// hold regardless of implementation details, catching logic regressions the
+// device-vs-golden comparisons cannot (both would drift together).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/cfd/cfd.hpp"
+#include "apps/kmeans/kmeans.hpp"
+#include "apps/lavamd/lavamd.hpp"
+#include "apps/mandelbrot/mandelbrot.hpp"
+#include "apps/nw/nw.hpp"
+#include "apps/where/where.hpp"
+
+namespace altis::apps {
+namespace {
+
+// KMeans is a coordinate-descent method: the within-cluster sum of squares
+// must be non-increasing across Lloyd iterations.
+TEST(GoldenProperties, KmeansObjectiveIsNonIncreasing) {
+    kmeans::params p;
+    p.n = 512;
+    p.d = 4;
+    p.k = 4;
+    const kmeans::dataset data = kmeans::make_dataset(p);
+
+    auto objective = [&](const kmeans::clustering& c) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < p.n; ++i) {
+            const auto ci = static_cast<std::size_t>(c.assignment[i]);
+            for (std::size_t j = 0; j < p.d; ++j) {
+                const double diff = data.points[i * p.d + j] -
+                                    c.centers[ci * p.d + j];
+                sum += diff * diff;
+            }
+        }
+        return sum;
+    };
+
+    double prev = std::numeric_limits<double>::max();
+    for (int iters = 1; iters <= 16; iters *= 2) {
+        kmeans::params pi = p;
+        pi.iterations = iters;
+        const double obj = objective(kmeans::golden(pi, data));
+        EXPECT_LE(obj, prev * (1.0 + 1e-6)) << iters;
+        prev = obj;
+    }
+}
+
+// NW with swapped sequences yields the transposed score matrix (the DP is
+// symmetric in its two inputs).
+TEST(GoldenProperties, NwSwapGivesTranspose) {
+    nw::params p;
+    p.n = 64;
+    const nw::workload w = nw::make_workload(p);
+    nw::workload swapped;
+    swapped.seq1 = w.seq2;
+    swapped.seq2 = w.seq1;
+    const auto a = nw::golden(p, w);
+    const auto b = nw::golden(p, swapped);
+    for (std::size_t i = 0; i < p.n; ++i)
+        for (std::size_t j = 0; j < p.n; ++j)
+            ASSERT_EQ(a[i * p.n + j], b[j * p.n + i]);
+}
+
+// NW scores are bounded: at most +5 per aligned pair, at least the all-gap
+// path.
+TEST(GoldenProperties, NwScoresAreBounded) {
+    nw::params p;
+    p.n = 128;
+    const auto score = nw::golden(p, nw::make_workload(p));
+    for (std::size_t i = 0; i < p.n; ++i)
+        for (std::size_t j = 0; j < p.n; ++j) {
+            const long best = 5L * static_cast<long>(std::min(i, j) + 1);
+            ASSERT_LE(score[i * p.n + j], best);
+        }
+}
+
+// LavaMD forces obey Newton's third law per pair: summing fx over ALL
+// particles of a closed 1-box system gives ~0 (q-weighted asymmetry aside,
+// the potential's pair force is antisymmetric in the distance vector only
+// when charges match; use unit charges to test the kernel's geometry).
+TEST(GoldenProperties, LavamdSelfBoxForcesAreFinite) {
+    lavamd::params p;
+    p.boxes1d = 1;
+    auto particles = lavamd::make_particles(p);
+    const auto forces = lavamd::golden(p, particles);
+    for (const auto& f : forces) {
+        ASSERT_TRUE(std::isfinite(f.fx + f.fy + f.fz));
+        ASSERT_GT(f.energy, 0.0f);  // every pair contributes exp(-u2)*q > 0
+    }
+    // A particle interacting with itself contributes exp(0)*q = q to its own
+    // energy; total energy must therefore exceed the sum of charges.
+    double total_q = 0.0, total_e = 0.0;
+    for (std::size_t i = 0; i < p.particles(); ++i) {
+        total_q += particles[i].q;
+        total_e += forces[i].energy;
+    }
+    EXPECT_GT(total_e, total_q * 0.99);
+}
+
+// Mandelbrot iterations are monotone in max_iters: capping later never
+// changes early-escaping pixels.
+TEST(GoldenProperties, MandelbrotCapMonotone) {
+    mandelbrot::params lo;
+    lo.width = lo.height = 64;
+    lo.max_iters = 64;
+    mandelbrot::params hi = lo;
+    hi.max_iters = 512;
+    std::vector<std::uint16_t> a(lo.pixels()), b(hi.pixels());
+    mandelbrot::golden(lo, a);
+    mandelbrot::golden(hi, b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] < lo.max_iters)
+            ASSERT_EQ(a[i], b[i]) << i;  // escaped before the cap
+        else
+            ASSERT_GE(b[i], a[i]) << i;
+    }
+}
+
+// Where: selectivity is monotone in the threshold, and the output is always
+// a subsequence of the input.
+TEST(GoldenProperties, WhereSelectivityMonotone) {
+    where::params p;
+    p.n = 4096;
+    const auto table = where::make_table(p);
+    std::size_t prev = 0;
+    for (std::int32_t threshold : {0, 1 << 16, 1 << 18, 1 << 19, 1 << 20}) {
+        where::params pt = p;
+        pt.threshold = threshold;
+        const auto out = where::golden(pt, table);
+        ASSERT_GE(out.size(), prev);
+        prev = out.size();
+    }
+    EXPECT_EQ(prev, p.n);  // threshold above the key range selects everything
+}
+
+// CFD: a uniform free-stream flow is a steady state -- fluxes cancel and the
+// solution must stay (nearly) unchanged.
+TEST(GoldenProperties, CfdFreeStreamIsSteady) {
+    cfd::params p{24, 24, 20};
+    const cfd::mesh m = cfd::make_mesh(p);
+    const std::size_t nel = p.nel();
+    // Uniform free-stream state: element 0 of initial_variables carries no
+    // perturbation (its bump factor is exactly 1), so broadcasting it makes
+    // the interior identical to the far-field ghost state.
+    std::vector<double> vars(nel * cfd::kVars);
+    const auto seed = cfd::initial_variables<double>(p);
+    for (int k = 0; k < cfd::kVars; ++k)
+        for (std::size_t e = 0; e < nel; ++e)
+            vars[static_cast<std::size_t>(k) * nel + e] =
+                seed[static_cast<std::size_t>(k) * nel];
+    const std::vector<double> before = vars;
+    cfd::golden(p, m, vars);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < vars.size(); ++i)
+        worst = std::max(worst, std::abs(vars[i] - before[i]));
+    EXPECT_LT(worst, 1e-9);
+}
+
+}  // namespace
+}  // namespace altis::apps

@@ -1,0 +1,59 @@
+#include "apps/common/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+namespace altis::apps {
+namespace {
+
+TEST(Image, PpmRoundTrip) {
+    const std::size_t w = 5, h = 3;
+    std::vector<rgb8> pixels(w * h);
+    for (std::size_t i = 0; i < pixels.size(); ++i)
+        pixels[i] = {static_cast<std::uint8_t>(i * 7),
+                     static_cast<std::uint8_t>(255 - i),
+                     static_cast<std::uint8_t>(i)};
+    const std::string path = "/tmp/altis_test_roundtrip.ppm";
+    write_ppm(path, pixels, w, h);
+    std::size_t rw = 0, rh = 0;
+    const auto back = read_ppm(path, rw, rh);
+    EXPECT_EQ(rw, w);
+    EXPECT_EQ(rh, h);
+    ASSERT_EQ(back.size(), pixels.size());
+    for (std::size_t i = 0; i < pixels.size(); ++i) EXPECT_EQ(back[i], pixels[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Image, SizeMismatchThrows) {
+    std::vector<rgb8> pixels(4);
+    EXPECT_THROW(write_ppm("/tmp/x.ppm", pixels, 3, 2), std::invalid_argument);
+}
+
+TEST(Image, UnwritablePathThrows) {
+    std::vector<rgb8> pixels(1);
+    EXPECT_THROW(write_ppm("/nonexistent-dir/x.ppm", pixels, 1, 1),
+                 std::runtime_error);
+}
+
+TEST(Image, TonemapClampsAndGammaEncodes) {
+    EXPECT_EQ(tonemap(0.0f, 0.0f, 0.0f), (rgb8{0, 0, 0}));
+    const rgb8 white = tonemap(1.0f, 2.0f, 100.0f);  // clamped
+    EXPECT_EQ(white.r, 255);
+    EXPECT_EQ(white.g, 255);
+    EXPECT_EQ(white.b, 255);
+    // Gamma-2: linear 0.25 encodes to ~0.5.
+    const rgb8 mid = tonemap(0.25f, 0.25f, 0.25f);
+    EXPECT_NEAR(mid.r, 128, 2);
+}
+
+TEST(Image, EscapeColormapInteriorIsBlackExteriorIsNot) {
+    EXPECT_EQ(escape_colormap(1024, 1024), (rgb8{0, 0, 0}));
+    EXPECT_NE(escape_colormap(10, 1024), (rgb8{0, 0, 0}));
+    // Monotone-ish: later escapes are brighter in red.
+    EXPECT_LE(escape_colormap(4, 1024).r, escape_colormap(512, 1024).r);
+}
+
+}  // namespace
+}  // namespace altis::apps

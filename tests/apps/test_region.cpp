@@ -1,0 +1,127 @@
+// Direct unit tests of the timed-region simulator (apps/common/region).
+#include "apps/common/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/model.hpp"
+
+namespace altis::apps {
+namespace {
+
+perf::kernel_stats small_kernel(const char* name) {
+    perf::kernel_stats k;
+    k.name = name;
+    k.global_items = 1 << 16;
+    k.wg_size = 256;
+    k.fp32_ops = 10;
+    k.bytes_read = 8;
+    k.bytes_written = 4;
+    k.static_fp32_ops = 10;
+    return k;
+}
+
+TEST(TimedRegion, LaunchCountsSumKernelsAndDataflow) {
+    timed_region r;
+    r.kernels.push_back({small_kernel("a"), 3.0});
+    r.kernels.push_back({small_kernel("b"), 2.0});
+    r.dataflow.push_back({{small_kernel("c"), small_kernel("d")}, 4.0});
+    EXPECT_DOUBLE_EQ(r.total_launches(), 3.0 + 2.0 + 8.0);
+    EXPECT_EQ(r.all_kernels().size(), 4u);
+}
+
+TEST(TimedRegion, KernelTimeScalesWithCount) {
+    const auto& dev = perf::device_by_name("a100");
+    timed_region one, five;
+    one.kernels.push_back({small_kernel("k"), 1.0});
+    five.kernels.push_back({small_kernel("k"), 5.0});
+    const auto t1 = simulate_region(one, dev, perf::runtime_kind::sycl);
+    const auto t5 = simulate_region(five, dev, perf::runtime_kind::sycl);
+    EXPECT_NEAR(t5.kernel_ms() / t1.kernel_ms(), 5.0, 1e-9);
+}
+
+TEST(TimedRegion, DataflowGroupTakesMaxNotSum) {
+    const auto& dev = perf::device_by_name("stratix_10");
+    perf::kernel_stats heavy;
+    heavy.name = "heavy";
+    heavy.form = perf::kernel_form::single_task;
+    perf::loop_info big;
+    big.trip_count = 1e7;
+    heavy.loops.push_back(big);
+    perf::kernel_stats light = heavy;
+    light.name = "light";
+    light.loops[0].trip_count = 10;
+
+    timed_region group, serial;
+    group.dataflow.push_back({{heavy, light}, 1.0});
+    serial.kernels.push_back({heavy, 1.0});
+    serial.kernels.push_back({light, 1.0});
+    const auto tg = simulate_region(group, dev, perf::runtime_kind::sycl);
+    const auto ts = simulate_region(serial, dev, perf::runtime_kind::sycl);
+    EXPECT_LT(tg.kernel_ms(), ts.kernel_ms());
+    // Both pay two launches of non-kernel overhead.
+    EXPECT_DOUBLE_EQ(tg.non_kernel_ms(), ts.non_kernel_ms());
+}
+
+TEST(TimedRegion, UnsynchronizedRegionDropsKernelTime) {
+    const auto& dev = perf::device_by_name("rtx_2080");
+    timed_region r;
+    r.kernels.push_back({small_kernel("k"), 10.0});
+    r.synchronized = false;
+    r.syncs = 0.0;
+    const auto t = simulate_region(r, dev, perf::runtime_kind::cuda);
+    EXPECT_DOUBLE_EQ(t.kernel_ms(), 0.0);
+    EXPECT_GT(t.non_kernel_ms(), 0.0);  // submission cost is still observed
+}
+
+TEST(TimedRegion, TransferCostAmortizesPayloadAcrossCalls) {
+    const auto& dev = perf::device_by_name("rtx_2080");
+    timed_region few, many;
+    few.transfer_bytes = many.transfer_bytes = 64.0 * 1024 * 1024;
+    few.transfer_calls = 1.0;
+    many.transfer_calls = 64.0;
+    few.syncs = many.syncs = 0.0;
+    const auto tf = simulate_region(few, dev, perf::runtime_kind::sycl);
+    const auto tm = simulate_region(many, dev, perf::runtime_kind::sycl);
+    // Same payload, more fixed per-call costs.
+    EXPECT_GT(tm.non_kernel_ms(), tf.non_kernel_ms());
+}
+
+TEST(TimedRegion, ExtraNonKernelIsChargedOnce) {
+    const auto& dev = perf::device_by_name("rtx_2080");
+    timed_region r;
+    r.syncs = 0.0;
+    r.extra_non_kernel_ns = 5e6;
+    const auto t = simulate_region(r, dev, perf::runtime_kind::sycl);
+    EXPECT_DOUBLE_EQ(t.non_kernel_ms(), 5.0);
+}
+
+TEST(TimedRegion, FpgaKernelsShareDesignFmax) {
+    // A slow-clocking kernel in the design drags every kernel's time.
+    const auto& dev = perf::device_by_name("stratix_10");
+    perf::kernel_stats fast = small_kernel("fast");
+    fast.control_complexity = 1;
+    fast.args_restrict = true;
+    perf::kernel_stats branchy = small_kernel("branchy");
+    branchy.control_complexity = 9;
+
+    timed_region alone, with_branchy;
+    alone.kernels.push_back({fast, 1.0});
+    with_branchy.kernels.push_back({fast, 1.0});
+    with_branchy.kernels.push_back({branchy, 0.0});  // in bitstream, never run
+    const auto ta = simulate_region(alone, dev, perf::runtime_kind::sycl);
+    const auto tb = simulate_region(with_branchy, dev, perf::runtime_kind::sycl);
+    EXPECT_GT(tb.kernel_ms(), ta.kernel_ms() * 1.5);
+}
+
+TEST(TimedRegion, TotalIsKernelPlusNonKernel) {
+    const auto& dev = perf::device_by_name("max_1100");
+    timed_region r;
+    r.kernels.push_back({small_kernel("k"), 7.0});
+    r.transfer_bytes = 1e6;
+    r.transfer_calls = 2.0;
+    const auto t = simulate_region(r, dev, perf::runtime_kind::sycl);
+    EXPECT_DOUBLE_EQ(t.total_ms(), t.kernel_ms() + t.non_kernel_ms());
+}
+
+}  // namespace
+}  // namespace altis::apps

@@ -1,0 +1,149 @@
+// Cross-application property tests over the suite view: invariants every
+// figure bench relies on, checked for all 13 configurations x devices.
+#include "apps/common/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/common/app.hpp"
+#include "perf/resource_model.hpp"
+
+namespace altis::bench {
+namespace {
+
+namespace apps = altis::apps;
+namespace perf = altis::perf;
+
+class SuiteEntries : public ::testing::TestWithParam<std::size_t> {
+protected:
+    const SuiteEntry& entry() const { return suite()[GetParam()]; }
+};
+
+TEST_P(SuiteEntries, RegionsExistForEverySupportedVariantAndDevice) {
+    const auto& e = entry();
+    for (const auto& dev : perf::device_catalog()) {
+        for (const Variant v :
+             {Variant::cuda, Variant::sycl_base, Variant::sycl_opt,
+              Variant::fpga_base, Variant::fpga_opt}) {
+            if (!apps::variant_allowed(v, dev)) continue;
+            if (e.crashes && e.crashes(dev, v, 2)) continue;
+            if (!e.in_fig45 && v == Variant::fpga_opt) continue;  // DWT2D
+            const apps::timed_region r = e.region(v, dev, 2);
+            EXPECT_GT(r.total_launches(), 0.0) << e.label << " " << dev.name;
+            const auto t = apps::simulate_region(r, dev, apps::runtime_for(v));
+            EXPECT_GT(t.kernel_ms(), 0.0) << e.label << " " << dev.name;
+            EXPECT_GT(t.non_kernel_ms(), 0.0) << e.label << " " << dev.name;
+        }
+    }
+}
+
+// Bigger presets must take longer on every device (sanity of the size
+// scaling encoded in each app's descriptor builders).
+TEST_P(SuiteEntries, TotalTimeGrowsWithSize) {
+    const auto& e = entry();
+    for (const char* dev : {"rtx_2080", "xeon_6128"}) {
+        const auto t1 = total_ms(e, Variant::sycl_opt, dev, 1);
+        const auto t3 = total_ms(e, Variant::sycl_opt, dev, 3);
+        ASSERT_TRUE(t1 && t3) << e.label;
+        EXPECT_GT(*t3, *t1 * 1.5) << e.label << " on " << dev;
+    }
+}
+
+// Every optimized FPGA design must fit both boards and clock inside the
+// plausible SYCL-kernel range (Table 3's premise).
+TEST_P(SuiteEntries, FpgaOptDesignsFitAndClockPlausibly) {
+    const auto& e = entry();
+    if (!e.in_fig45) return;  // DWT2D ships no optimized design
+    for (const char* dev_name : {"stratix_10", "agilex"}) {
+        const auto& dev = perf::device_by_name(dev_name);
+        for (int size : {1, 2, 3}) {
+            const auto usage =
+                perf::estimate_design_resources(e.fpga_design(dev, size), dev);
+            EXPECT_TRUE(usage.fits)
+                << e.label << " size " << size << " on " << dev_name << ": "
+                << usage.failure_reason;
+            EXPECT_TRUE(usage.timing_clean)
+                << e.label << " size " << size << ": " << usage.failure_reason;
+            EXPECT_GE(usage.fmax_mhz, 80.0) << e.label;
+            EXPECT_LE(usage.fmax_mhz, dev.fmax_mhz) << e.label;
+        }
+    }
+}
+
+// Table 3's across-the-board observation: every design achieves a higher
+// frequency on Agilex than on Stratix 10.
+TEST_P(SuiteEntries, AgilexClocksHigherThanStratix10) {
+    const auto& e = entry();
+    if (!e.in_fig45) return;
+    const auto& s10 = perf::device_by_name("stratix_10");
+    const auto& agx = perf::device_by_name("agilex");
+    const double f_s10 =
+        perf::estimate_design_resources(e.fpga_design(s10, 2), s10).fmax_mhz;
+    const double f_agx =
+        perf::estimate_design_resources(e.fpga_design(agx, 2), agx).fmax_mhz;
+    EXPECT_GT(f_agx, f_s10) << e.label;
+}
+
+// The optimized FPGA variant must never be slower than the baseline it was
+// derived from (Fig. 4 is all >= 1).
+TEST_P(SuiteEntries, FpgaOptimizationNeverRegresses) {
+    const auto& e = entry();
+    if (!e.in_fig45) return;
+    for (int size : {1, 2, 3}) {
+        const auto base = total_ms(e, Variant::fpga_base, "stratix_10", size);
+        const auto opt = total_ms(e, Variant::fpga_opt, "stratix_10", size);
+        ASSERT_TRUE(base && opt) << e.label;
+        EXPECT_GE(*base / *opt, 0.99) << e.label << " size " << size;
+    }
+}
+
+// The HBM projection must never hurt: more bandwidth, same or better time.
+TEST_P(SuiteEntries, HbmProjectionIsMonotone) {
+    const auto& e = entry();
+    if (!e.in_fig45) return;
+    for (int size : {1, 2}) {
+        const auto ddr = total_ms(e, Variant::fpga_opt, "agilex", size);
+        const auto hbm = total_ms(e, Variant::fpga_opt, "agilex_hbm", size);
+        ASSERT_TRUE(ddr && hbm) << e.label;
+        EXPECT_LE(*hbm, *ddr * 1.02) << e.label << " size " << size;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, SuiteEntries,
+                         ::testing::Range<std::size_t>(0, 13),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             std::string n = suite()[info.param].label;
+                             for (auto& c : n)
+                                 if (c == ' ') c = '_';
+                             return n;
+                         });
+
+TEST(Suite, HasThirteenFig2Columns) {
+    ASSERT_EQ(suite().size(), 13u);
+    int fig45 = 0;
+    for (const auto& e : suite()) fig45 += e.in_fig45 ? 1 : 0;
+    EXPECT_EQ(fig45, 12);  // DWT2D is Fig. 2 only
+}
+
+TEST(Suite, Fig5DeviceOrderMatchesPaper) {
+    const auto devs = fig5_devices();
+    ASSERT_EQ(devs.size(), 5u);
+    EXPECT_EQ(devs[0], "rtx_2080");
+    EXPECT_EQ(devs[4], "agilex");
+}
+
+TEST(Suite, CudaNotAvailableOnMax1100) {
+    // The Fig. 2 comparison only exists on NVIDIA hardware.
+    EXPECT_FALSE(bench::total_ms(suite()[0], Variant::cuda, "max_1100", 1)
+                     .has_value());
+}
+
+TEST(Suite, WhereCrashPropagatesAsNullopt) {
+    for (const auto& e : suite()) {
+        if (e.label != "Where") continue;
+        EXPECT_FALSE(total_ms(e, Variant::fpga_opt, "agilex", 3).has_value());
+        EXPECT_TRUE(total_ms(e, Variant::fpga_opt, "stratix_10", 3).has_value());
+    }
+}
+
+}  // namespace
+}  // namespace altis::bench

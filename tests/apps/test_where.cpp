@@ -1,0 +1,123 @@
+#include "apps/where/where.hpp"
+
+#include <gtest/gtest.h>
+
+namespace altis::apps::where {
+namespace {
+
+TEST(Where, GoldenSelectsByPredicateInOrder) {
+    params p;
+    p.n = 1000;
+    p.threshold = 1 << 18;
+    const auto table = make_table(p);
+    const auto selected = golden(p, table);
+    EXPECT_GT(selected.size(), 0u);
+    EXPECT_LT(selected.size(), table.size());
+    for (const auto& r : selected) EXPECT_LT(r.key, p.threshold);
+    // Stable: payloads (original indices) strictly increasing.
+    for (std::size_t i = 1; i < selected.size(); ++i)
+        EXPECT_LT(selected[i - 1].payload, selected[i].payload);
+}
+
+TEST(Where, SelectivityNearQuarter) {
+    const params p = params::preset(1);
+    const auto table = make_table(p);
+    const auto selected = golden(p, table);
+    const double sel =
+        static_cast<double>(selected.size()) / static_cast<double>(p.n);
+    EXPECT_NEAR(sel, 0.25, 0.02);
+}
+
+struct Case {
+    const char* device;
+    Variant variant;
+};
+
+class WhereVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WhereVariants, FunctionalRunVerifies) {
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = GetParam().device;
+    cfg.variant = GetParam().variant;
+    const AppResult r = run(cfg);
+    EXPECT_GT(r.kernel_ms, 0.0);
+    EXPECT_GT(r.total_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndVariants, WhereVariants,
+    ::testing::Values(Case{"rtx_2080", Variant::cuda},
+                      Case{"rtx_2080", Variant::sycl_opt},
+                      Case{"xeon_6128", Variant::sycl_base},
+                      Case{"stratix_10", Variant::fpga_base},
+                      Case{"stratix_10", Variant::fpga_opt},
+                      Case{"agilex", Variant::fpga_opt}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+        return std::string(info.param.device) + "_" +
+               to_string(info.param.variant);
+    });
+
+// Sec. 3.3 / Fig. 2: Where is the one application whose optimized SYCL stays
+// ~0.3x of CUDA on the RTX 2080, because of the oneDPL prefix sum.
+TEST(Where, SyclUnderperformsCudaOnGpuBecauseOfScan) {
+    const auto& rtx = perf::device_by_name("rtx_2080");
+    const auto cuda = simulate_region(region(Variant::cuda, rtx, 2), rtx,
+                                      perf::runtime_kind::cuda);
+    const auto sycl = simulate_region(region(Variant::sycl_opt, rtx, 2), rtx,
+                                      perf::runtime_kind::sycl);
+    const double speedup = cuda.total_ms() / sycl.total_ms();
+    EXPECT_LT(speedup, 0.9);
+    EXPECT_GT(speedup, 0.1);
+}
+
+// Sec. 5.3: the custom Single-Task scan dominates the FPGA-side win.
+TEST(Where, FpgaOptBeatsFpgaBase) {
+    const auto& s10 = perf::device_by_name("stratix_10");
+    const auto base = simulate_region(region(Variant::fpga_base, s10, 3), s10,
+                                      perf::runtime_kind::sycl);
+    const auto opt = simulate_region(region(Variant::fpga_opt, s10, 3), s10,
+                                     perf::runtime_kind::sycl);
+    const double speedup = base.kernel_ms() / opt.kernel_ms();
+    EXPECT_GT(speedup, 5.0);   // paper: 33.5x-90.8x across sizes
+    EXPECT_LT(speedup, 300.0);
+}
+
+TEST(Where, AgilexSizeThreeCrashReproduced) {
+    const auto& agx = perf::device_by_name("agilex");
+    EXPECT_TRUE(crashes_on(agx, Variant::fpga_opt, 3));
+    EXPECT_FALSE(crashes_on(agx, Variant::fpga_opt, 2));
+    EXPECT_FALSE(
+        crashes_on(perf::device_by_name("stratix_10"), Variant::fpga_opt, 3));
+    RunConfig cfg;
+    cfg.size = 3;
+    cfg.device = "agilex";
+    cfg.variant = Variant::fpga_opt;
+    EXPECT_THROW(run(cfg), std::runtime_error);
+}
+
+TEST(Where, ReplicationRetunedBetweenBoards) {
+    // Sec. 5.5: 20x -> 25x and 2x -> 4x.
+    const auto s10 = fpga_design(perf::device_by_name("stratix_10"), 1);
+    const auto agx = fpga_design(perf::device_by_name("agilex"), 1);
+    ASSERT_EQ(s10.size(), 3u);
+    EXPECT_EQ(s10[0].replication, 20);
+    EXPECT_EQ(agx[0].replication, 25);
+    EXPECT_EQ(s10[2].replication, 2);
+    EXPECT_EQ(agx[2].replication, 4);
+}
+
+TEST(Where, RunMatchesRegionSimulation) {
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "rtx_2080";
+    cfg.variant = Variant::sycl_opt;
+    const AppResult r = run(cfg);
+    const auto& dev = perf::device_by_name(cfg.device);
+    const auto est = simulate_region(region(cfg.variant, dev, cfg.size), dev,
+                                     perf::runtime_kind::sycl);
+    EXPECT_NEAR(r.kernel_ms, est.kernel_ms(), r.kernel_ms * 0.01);
+}
+
+}  // namespace
+}  // namespace altis::apps::where

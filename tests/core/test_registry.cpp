@@ -1,0 +1,68 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/common/app.hpp"
+#include "core/result_database.hpp"
+
+namespace altis {
+namespace {
+
+TEST(Registry, AllAppsRegisteredOnce) {
+    apps::register_all_apps();
+    apps::register_all_apps();  // idempotent
+    auto& reg = Registry::instance();
+    EXPECT_GE(reg.apps().size(), 1u);
+    const AppInfo* m = reg.find("mandelbrot");
+    ASSERT_NE(m, nullptr);
+    EXPECT_FALSE(m->variants.empty());
+}
+
+TEST(Registry, FindUnknownReturnsNull) {
+    EXPECT_EQ(Registry::instance().find("no-such-app"), nullptr);
+}
+
+TEST(Registry, VariantNamesRoundTrip) {
+    EXPECT_STREQ(to_string(Variant::cuda), "cuda");
+    EXPECT_STREQ(to_string(Variant::sycl_base), "sycl_base");
+    EXPECT_STREQ(to_string(Variant::sycl_opt), "sycl_opt");
+    EXPECT_STREQ(to_string(Variant::fpga_base), "fpga_base");
+    EXPECT_STREQ(to_string(Variant::fpga_opt), "fpga_opt");
+}
+
+TEST(Registry, RegisteredRunReportsMetrics) {
+    apps::register_all_apps();
+    const AppInfo* m = Registry::instance().find("mandelbrot");
+    ASSERT_NE(m, nullptr);
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.device = "rtx_2080";
+    cfg.variant = Variant::sycl_opt;
+    cfg.passes = 2;
+    ResultDatabase db;
+    m->run(cfg, db);
+    const Result* r =
+        db.find("kernel_time", "size=1,device=rtx_2080,variant=sycl_opt");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->values.size(), 2u);
+    EXPECT_GT(r->mean(), 0.0);
+}
+
+TEST(AppContract, VariantDeviceMatrix) {
+    using apps::variant_allowed;
+    const auto& rtx = perf::device_by_name("rtx_2080");
+    const auto& max1100 = perf::device_by_name("max_1100");
+    const auto& cpu = perf::device_by_name("xeon_6128");
+    const auto& s10 = perf::device_by_name("stratix_10");
+
+    EXPECT_TRUE(variant_allowed(Variant::cuda, rtx));
+    EXPECT_FALSE(variant_allowed(Variant::cuda, max1100));  // no CUDA on PVC
+    EXPECT_FALSE(variant_allowed(Variant::cuda, cpu));
+    EXPECT_TRUE(variant_allowed(Variant::sycl_opt, cpu));
+    EXPECT_FALSE(variant_allowed(Variant::sycl_opt, s10));
+    EXPECT_TRUE(variant_allowed(Variant::fpga_opt, s10));
+    EXPECT_FALSE(variant_allowed(Variant::fpga_opt, rtx));
+}
+
+}  // namespace
+}  // namespace altis

@@ -1,0 +1,50 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace altis {
+namespace {
+
+TEST(Table, PrintsAlignedHeaderAndRows) {
+    Table t({"app", "speedup"});
+    t.add_row({"kmeans", "510.3"});
+    t.add_row({"nw", "17.6"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| app"), std::string::npos);
+    EXPECT_NE(s.find("kmeans"), std::string::npos);
+    EXPECT_NE(s.find("17.6"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::percent(0.359), "35.9%");
+}
+
+TEST(SeriesBlock, PrintsTitleAndSeries) {
+    SeriesBlock b("Fig X", {"size1", "size2"});
+    b.add_series("rtx_2080", {1.5, 2.5});
+    std::ostringstream os;
+    b.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("== Fig X =="), std::string::npos);
+    EXPECT_NE(s.find("rtx_2080"), std::string::npos);
+    EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+TEST(SeriesBlock, WrongSeriesLengthThrows) {
+    SeriesBlock b("Fig", {"c1", "c2"});
+    EXPECT_THROW(b.add_series("s", {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace altis

@@ -1,0 +1,114 @@
+#include "core/result_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <sstream>
+
+namespace altis {
+namespace {
+
+TEST(ResultDatabase, AggregatesSamplesIntoOneSeries) {
+    ResultDatabase db;
+    db.add_result("kernel_time", "size=1", "ms", 2.0);
+    db.add_result("kernel_time", "size=1", "ms", 4.0);
+    db.add_result("kernel_time", "size=2", "ms", 8.0);
+    ASSERT_EQ(db.results().size(), 2u);
+    const Result* r = db.find("kernel_time", "size=1");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->values.size(), 2u);
+}
+
+TEST(ResultDatabase, Statistics) {
+    Result r{"t", "a", "ms", {1.0, 2.0, 3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(r.min(), 1.0);
+    EXPECT_DOUBLE_EQ(r.max(), 4.0);
+    EXPECT_DOUBLE_EQ(r.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(r.median(), 2.5);
+    EXPECT_NEAR(r.stddev(), 1.2909944487, 1e-9);
+}
+
+TEST(ResultDatabase, MedianOddCount) {
+    Result r{"t", "a", "ms", {5.0, 1.0, 3.0}};
+    EXPECT_DOUBLE_EQ(r.median(), 3.0);
+}
+
+TEST(ResultDatabase, FailuresExcludedFromStatsButCounted) {
+    ResultDatabase db;
+    db.add_result("t", "a", "ms", 10.0);
+    db.add_failure("t", "a", "ms");
+    const Result* r = db.find("t", "a");
+    ASSERT_NE(r, nullptr);
+    EXPECT_DOUBLE_EQ(r->mean(), 10.0);
+    EXPECT_DOUBLE_EQ(r->error_fraction(), 0.5);
+}
+
+TEST(ResultDatabase, AllFailedSeriesReportsSentinel) {
+    Result r{"t", "a", "ms", {Result::failure_sentinel()}};
+    EXPECT_GE(r.mean(), FLT_MAX);
+    EXPECT_DOUBLE_EQ(r.error_fraction(), 1.0);
+}
+
+TEST(ResultDatabase, GeomeanOverSeriesMeans) {
+    ResultDatabase db;
+    db.add_result("speedup", "app=a", "x", 2.0);
+    db.add_result("speedup", "app=b", "x", 8.0);
+    db.add_result("other", "app=a", "x", 100.0);
+    EXPECT_NEAR(db.geomean("speedup"), 4.0, 1e-12);
+}
+
+TEST(ResultDatabase, GeomeanSkipsNonPositiveAndFailedSeries) {
+    ResultDatabase db;
+    db.add_result("speedup", "app=a", "x", 4.0);
+    db.add_result("speedup", "app=bad", "x", 0.0);
+    db.add_failure("speedup", "app=fail", "x");
+    EXPECT_NEAR(db.geomean("speedup"), 4.0, 1e-12);
+}
+
+TEST(ResultDatabase, GeomeanEmptyIsZero) {
+    ResultDatabase db;
+    EXPECT_DOUBLE_EQ(db.geomean("absent"), 0.0);
+}
+
+TEST(ResultDatabase, CsvDumpContainsAllTrials) {
+    ResultDatabase db;
+    db.add_result("t", "a", "ms", 1.5);
+    db.add_result("t", "a", "ms", 2.5);
+    std::ostringstream os;
+    db.dump_csv(os);
+    EXPECT_NE(os.str().find("t,a,ms,1.5,2.5"), std::string::npos);
+}
+
+TEST(ResultDatabase, JsonDumpIsWellFormedAndEscaped) {
+    ResultDatabase db;
+    db.add_result("kernel \"time\"", "size=1", "ms", 1.5);
+    db.add_result("kernel \"time\"", "size=1", "ms", 2.5);
+    db.add_failure("kernel \"time\"", "size=1", "ms");
+    std::ostringstream os;
+    db.dump_json(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"values\": [1.5, 2.5, null]"), std::string::npos) << s;
+    EXPECT_NE(s.find("\\\"time\\\""), std::string::npos);  // escaped quote
+    EXPECT_NE(s.find("\"mean\": 2"), std::string::npos);
+    EXPECT_EQ(s.front(), '[');
+    EXPECT_EQ(s[s.size() - 2], ']');
+}
+
+TEST(ResultDatabase, JsonEmptyDatabase) {
+    ResultDatabase db;
+    std::ostringstream os;
+    db.dump_json(os);
+    EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+TEST(ResultDatabase, SummaryTableHasHeaderAndRows) {
+    ResultDatabase db;
+    db.add_result("kernel_time", "size=1", "ms", 1.0);
+    std::ostringstream os;
+    db.dump_summary(os);
+    EXPECT_NE(os.str().find("median"), std::string::npos);
+    EXPECT_NE(os.str().find("kernel_time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace altis

@@ -1,0 +1,211 @@
+#include "perf/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/model.hpp"
+
+namespace altis::perf {
+namespace {
+
+TEST(Analysis, MemoryBoundStreamingKernel) {
+    kernel_stats k;
+    k.name = "stream";
+    k.global_items = 1 << 24;
+    k.wg_size = 256;
+    k.fp32_ops = 1;
+    k.bytes_read = 24;
+    k.bytes_written = 8;
+    const auto a = analyze(k, device_by_name("rtx_2080"));
+    EXPECT_EQ(a.bound, bottleneck::memory_bandwidth);
+    EXPECT_GT(a.limit_utilization, 0.9);
+}
+
+TEST(Analysis, ComputeBoundKernel) {
+    kernel_stats k;
+    k.name = "flops";
+    k.global_items = 1 << 22;
+    k.wg_size = 256;
+    k.fp32_ops = 2000;
+    k.bytes_read = 4;
+    const auto a = analyze(k, device_by_name("a100"));
+    EXPECT_EQ(a.bound, bottleneck::compute);
+    EXPECT_GT(a.compute_only_ns, a.memory_only_ns);
+}
+
+TEST(Analysis, TinyKernelIsLatencyBound) {
+    kernel_stats k;
+    k.name = "tiny";
+    k.global_items = 64;
+    k.wg_size = 64;
+    k.fp32_ops = 2;
+    k.bytes_read = 4;
+    const auto a = analyze(k, device_by_name("rtx_2080"));
+    EXPECT_EQ(a.bound, bottleneck::latency);
+    // And the advisor points at launch batching.
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.what.find("launch-bound") != std::string::npos) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, SfuHeavyKernelGetsPowAdvice) {
+    kernel_stats k;
+    k.name = "pow";
+    k.global_items = 1 << 20;
+    k.wg_size = 128;
+    k.fp32_ops = 10;
+    k.sfu_ops = 100;
+    const auto a = analyze(k, device_by_name("rtx_2080"));
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.what.find("pow(a,2)") != std::string::npos) {
+            found = true;
+            EXPECT_GT(s.expected_gain, 1.5);
+            EXPECT_EQ(s.paper_ref, "Sec. 3.3");
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, FpgaCongestedLocalMemoryDiagnosed) {
+    kernel_stats k;
+    k.name = "nw_like";
+    k.form = kernel_form::nd_range;
+    k.global_items = 1 << 20;
+    k.wg_size = 16;
+    k.pattern = local_pattern::congested;
+    k.local_arrays = 1;
+    k.local_mem_bytes = 1156;
+    k.local_accesses = 64;
+    k.static_int_ops = 40;
+    const auto a = analyze(k, device_by_name("stratix_10"));
+    EXPECT_EQ(a.bound, bottleneck::local_memory);
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.paper_ref == "Sec. 5.2 case 3") found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, FpgaBankedLocalMemorySuggestsUnrolling) {
+    kernel_stats k;
+    k.name = "lavamd_like";
+    k.form = kernel_form::nd_range;
+    k.global_items = 1 << 18;
+    k.wg_size = 64;
+    k.pattern = local_pattern::banked;
+    k.local_arrays = 3;
+    k.local_mem_bytes = 3072;
+    k.local_accesses = 128;
+    k.static_fp32_ops = 16;
+    const auto a = analyze(k, device_by_name("stratix_10"));
+    EXPECT_EQ(a.bound, bottleneck::local_memory);
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.paper_ref == "Sec. 5.2 case 1") {
+            found = true;
+            EXPECT_GT(s.expected_gain, 2.0);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, FpgaMemoryBoundWithoutRestrictSuggestsIt) {
+    kernel_stats k;
+    k.name = "copy";
+    k.form = kernel_form::nd_range;
+    k.global_items = 1 << 24;
+    k.wg_size = 128;
+    k.bytes_read = 32;
+    k.bytes_written = 32;
+    k.simd = 8;  // wide enough that the datapath outruns the board DRAM
+    k.args_restrict = false;
+    const auto a = analyze(k, device_by_name("agilex"));
+    EXPECT_EQ(a.bound, bottleneck::memory_bandwidth);
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.what.find("kernel_args_restrict") != std::string::npos) {
+            found = true;
+            EXPECT_NEAR(s.expected_gain, 1.35, 0.05);
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, FpgaDepChainSuggestsSingleTaskRewrite) {
+    kernel_stats k;
+    k.name = "mandelbrot_like";
+    k.form = kernel_form::nd_range;
+    k.global_items = 1 << 20;
+    k.wg_size = 128;
+    k.dep_chain_cycles = 600;
+    k.bytes_written = 2;
+    const auto a = analyze(k, device_by_name("stratix_10"));
+    EXPECT_EQ(a.bound, bottleneck::pipeline);
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.paper_ref == "Sec. 5.3") found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, SingleTaskSpeculationWasteFlagged) {
+    kernel_stats k;
+    k.name = "spec";
+    k.form = kernel_form::single_task;
+    loop_info loop;
+    loop.name = "escape";
+    loop.trip_count = 1e6;
+    loop.entries = 1e6;  // one iteration per entry: waste dominates
+    loop.speculated_iterations = 4;
+    k.loops.push_back(loop);
+    const auto a = analyze(k, device_by_name("stratix_10"));
+    bool found = false;
+    for (const auto& s : a.suggestions)
+        if (s.what.find("speculated_iterations") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Analysis, AccessorObjectAndDynamicLocalAdvice) {
+    kernel_stats k;
+    k.name = "srad_like";
+    k.form = kernel_form::nd_range;
+    k.global_items = 1 << 20;
+    k.wg_size = 64;
+    k.pass_accessor_objects = true;
+    k.dynamic_local_size = true;
+    k.pattern = local_pattern::banked;
+    k.local_arrays = 11;
+    k.local_mem_bytes = 2816;
+    k.local_accesses = 8;
+    const auto a = analyze(k, device_by_name("stratix_10"));
+    int hits = 0;
+    for (const auto& s : a.suggestions) {
+        if (s.what.find("accessor objects") != std::string::npos) ++hits;
+        if (s.what.find("group_local_memory_for_overwrite") !=
+            std::string::npos)
+            ++hits;
+    }
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(Analysis, RenderMentionsBottleneckAndAdvice) {
+    kernel_stats k;
+    k.name = "stream";
+    k.global_items = 1 << 24;
+    k.wg_size = 256;
+    k.bytes_read = 64;
+    const auto& dev = device_by_name("rtx_2080");
+    const auto a = analyze(k, dev);
+    std::ostringstream os;
+    render(a, k, dev, os);
+    EXPECT_NE(os.str().find("memory bandwidth"), std::string::npos);
+    EXPECT_NE(os.str().find("stream"), std::string::npos);
+}
+
+TEST(Analysis, BottleneckNames) {
+    EXPECT_STREQ(to_string(bottleneck::pipeline), "FPGA pipeline cycles");
+    EXPECT_STREQ(to_string(bottleneck::local_memory),
+                 "local-memory ports/arbiters");
+}
+
+}  // namespace
+}  // namespace altis::perf

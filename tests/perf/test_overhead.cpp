@@ -1,0 +1,51 @@
+#include "perf/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace altis::perf {
+namespace {
+
+TEST(Overhead, SyclLaunchCostsMoreThanCudaOnGpu) {
+    const auto& gpu = device_by_name("rtx_2080");
+    EXPECT_GT(launch_overhead_ns(runtime_kind::sycl, gpu),
+              launch_overhead_ns(runtime_kind::cuda, gpu));
+    // Figure 1 requires roughly an order of magnitude between them.
+    EXPECT_GT(launch_overhead_ns(runtime_kind::sycl, gpu) /
+                  launch_overhead_ns(runtime_kind::cuda, gpu),
+              5.0);
+}
+
+TEST(Overhead, TransferScalesWithBytes) {
+    const auto& gpu = device_by_name("a100");
+    const double small = transfer_ns(runtime_kind::sycl, gpu, 1024.0);
+    const double big = transfer_ns(runtime_kind::sycl, gpu, 64.0 * 1024 * 1024);
+    EXPECT_GT(big, small);
+    // 64 MiB over ~24 GB/s PCIe: at least 2 ms.
+    EXPECT_GT(big, 2e6);
+}
+
+TEST(Overhead, CpuTransfersPayOnlyFixedCost) {
+    const auto& cpu = device_by_name("xeon_6128");
+    EXPECT_DOUBLE_EQ(transfer_ns(runtime_kind::sycl, cpu, 0.0),
+                     transfer_ns(runtime_kind::sycl, cpu, 1e9));
+}
+
+TEST(Overhead, ZeroByteTransferStillPaysFixedCost) {
+    const auto& gpu = device_by_name("rtx_2080");
+    EXPECT_GT(transfer_ns(runtime_kind::cuda, gpu, 0.0), 0.0);
+}
+
+TEST(Overhead, SetupOrdering) {
+    const auto& gpu = device_by_name("rtx_2080");
+    // SYCL's JIT + lazy context beats CUDA's primary context in cost.
+    EXPECT_GT(setup_overhead_ns(runtime_kind::sycl, gpu),
+              setup_overhead_ns(runtime_kind::cuda, gpu));
+}
+
+TEST(Overhead, RuntimeKindNames) {
+    EXPECT_STREQ(to_string(runtime_kind::cuda), "cuda");
+    EXPECT_STREQ(to_string(runtime_kind::sycl), "sycl");
+}
+
+}  // namespace
+}  // namespace altis::perf

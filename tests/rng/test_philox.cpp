@@ -1,0 +1,85 @@
+#include "rng/philox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace altis::rng {
+namespace {
+
+// Known-answer vectors from the Random123 distribution's kat_vectors file
+// (philox4x32 10 rounds).
+TEST(Philox, KnownAnswerZeroInput) {
+    const auto out = philox4x32::block({0u, 0u, 0u, 0u}, {0u, 0u});
+    EXPECT_EQ(out[0], 0x6627e8d5u);
+    EXPECT_EQ(out[1], 0xe169c58du);
+    EXPECT_EQ(out[2], 0xbc57ac4cu);
+    EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox, KnownAnswerAllOnesInput) {
+    const auto out = philox4x32::block(
+        {0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu},
+        {0xffffffffu, 0xffffffffu});
+    EXPECT_EQ(out[0], 0x408f276du);
+    EXPECT_EQ(out[1], 0x41c83b0eu);
+    EXPECT_EQ(out[2], 0xa20bc7c6u);
+    EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(Philox, CounterModeIsStateless) {
+    // Same counter+key always produce the same block: the property that lets
+    // each work-item derive its stream from its global id.
+    const auto a = philox4x32::block({7u, 8u, 9u, 10u}, {11u, 12u});
+    const auto b = philox4x32::block({7u, 8u, 9u, 10u}, {11u, 12u});
+    EXPECT_EQ(a, b);
+}
+
+TEST(Philox, AdjacentCountersDecorrelate) {
+    const auto a = philox4x32::block({0u, 0u, 0u, 0u}, {1u, 0u});
+    const auto b = philox4x32::block({1u, 0u, 0u, 0u}, {1u, 0u});
+    int same = 0;
+    for (int i = 0; i < 4; ++i)
+        if (a[static_cast<std::size_t>(i)] == b[static_cast<std::size_t>(i)])
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Philox, SequentialDrawsConsumeWholeBlocks) {
+    philox4x32 g(42);
+    const auto first_block = philox4x32::block({0u, 0u, 0u, 0u}, {42u, 0u});
+    EXPECT_EQ(g.next_u32(), first_block[0]);
+    EXPECT_EQ(g.next_u32(), first_block[1]);
+    EXPECT_EQ(g.next_u32(), first_block[2]);
+    EXPECT_EQ(g.next_u32(), first_block[3]);
+    const auto second_block = philox4x32::block({1u, 0u, 0u, 0u}, {42u, 0u});
+    EXPECT_EQ(g.next_u32(), second_block[0]);
+}
+
+TEST(Philox, StreamsAreIndependent) {
+    philox4x32 a(5, 0), b(5, 1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u32() == b.next_u32()) ++equal;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Philox, UniformMeanNearHalf) {
+    philox4x32 g(2026);
+    double sum = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) sum += g.next_float();
+    EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Philox, DoublesInUnitInterval) {
+    philox4x32 g(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = g.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace altis::rng

@@ -1,0 +1,136 @@
+#include "scan/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/device.hpp"
+#include "perf/model.hpp"
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace altis::scan {
+namespace {
+
+std::vector<int> random_input(std::size_t n, unsigned seed) {
+    std::mt19937 gen(seed);
+    std::uniform_int_distribution<int> dist(-10, 10);
+    std::vector<int> v(n);
+    for (auto& x : v) x = dist(gen);
+    return v;
+}
+
+TEST(ScanSerial, ExclusiveBasics) {
+    const std::vector<int> in{3, 1, 4, 1, 5};
+    std::vector<int> out(in.size());
+    exclusive_scan_serial(in, out);
+    EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(ScanSerial, InclusiveBasics) {
+    const std::vector<int> in{3, 1, 4, 1, 5};
+    std::vector<int> out(in.size());
+    inclusive_scan_serial(in, out);
+    EXPECT_EQ(out, (std::vector<int>{3, 4, 8, 9, 14}));
+}
+
+TEST(ScanSerial, InPlaceExclusive) {
+    std::vector<int> v{1, 2, 3, 4};
+    exclusive_scan_serial(v, v);
+    EXPECT_EQ(v, (std::vector<int>{0, 1, 3, 6}));
+}
+
+TEST(ScanSerial, EmptyInput) {
+    std::vector<int> in, out;
+    EXPECT_NO_THROW(exclusive_scan_serial(in, out));
+}
+
+TEST(ScanSerial, OutputTooSmallThrows) {
+    std::vector<int> in{1, 2}, out(1);
+    EXPECT_THROW(exclusive_scan_serial(in, out), std::invalid_argument);
+    EXPECT_THROW(inclusive_scan_serial(in, out), std::invalid_argument);
+}
+
+TEST(ScanBlocked, InPlaceRejected) {
+    std::vector<int> v{1, 2, 3};
+    syclite::thread_pool pool(2);
+    EXPECT_THROW(exclusive_scan_blocked(v, v, pool), std::invalid_argument);
+}
+
+class ScanBlockedSizes : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: the blocked three-phase scan matches the serial scan for any
+// size, including non-multiples of the block and sizes below one block.
+TEST_P(ScanBlockedSizes, MatchesSerialReference) {
+    const std::size_t n = GetParam();
+    const auto in = random_input(n, static_cast<unsigned>(n) + 1);
+    std::vector<int> expected(n), actual(n);
+    exclusive_scan_serial(in, expected);
+    syclite::thread_pool pool(3);
+    exclusive_scan_blocked(in, actual, pool, 128);
+    EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanBlockedSizes,
+                         ::testing::Values(0, 1, 2, 127, 128, 129, 1000, 4096,
+                                           100000));
+
+TEST(ScanFpgaCustom, MatchesListing2Semantics) {
+    // Listing 2: prefix[0]=0; prefix[i] = prefix[i-1] + results[i].
+    const std::vector<int> results{9, 2, 3, 4};
+    std::vector<int> prefix(results.size());
+    exclusive_scan_fpga_custom(results, prefix);
+    EXPECT_EQ(prefix, (std::vector<int>{0, 2, 5, 9}));  // results[0] skipped
+}
+
+TEST(ScanFpgaCustom, EquivalentToExclusiveScanOfShiftedInput) {
+    const auto data = random_input(1000, 7);
+    // Feeding results[i] = flag[i-1] makes Listing 2 an exclusive scan.
+    std::vector<int> shifted(data.size() + 1, 0);
+    std::copy(data.begin(), data.end(), shifted.begin() + 1);
+    std::vector<int> prefix(shifted.size());
+    exclusive_scan_fpga_custom(shifted, prefix);
+    std::vector<int> expected(data.size());
+    exclusive_scan_serial(data, expected);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        EXPECT_EQ(prefix[i], expected[i]) << i;
+}
+
+// ---- model descriptors ----
+
+TEST(ScanStats, OneDplMovesMoreBytesThanCub) {
+    const auto cub = stats_scan_cuda(1 << 20);
+    const auto dpl = stats_scan_onedpl(1 << 20);
+    EXPECT_GT(dpl.bytes_read + dpl.bytes_written,
+              cub.bytes_read + cub.bytes_written);
+}
+
+TEST(ScanStats, GpuSlowdownNearFiftyPercent) {
+    // Sec. 3.3: oneDPL's scan is ~50% slower than CUDA's on the RTX 2080.
+    const auto& rtx = perf::device_by_name("rtx_2080");
+    const double cub = perf::kernel_time_ns(stats_scan_cuda(1 << 24), rtx);
+    const double dpl = perf::kernel_time_ns(stats_scan_onedpl(1 << 24), rtx);
+    EXPECT_NEAR(dpl / cub, 1.5, 0.25);
+}
+
+TEST(ScanStats, CustomFpgaScanBeatsGpuShapedScanOnFpga) {
+    // Sec. 5.3: up to 100x on the Stratix 10.
+    const auto& s10 = perf::device_by_name("stratix_10");
+    const std::size_t n = 1 << 22;
+    const double onedpl = perf::kernel_time_ns(stats_scan_onedpl(n), s10);
+    const double custom = perf::kernel_time_ns(stats_scan_fpga_custom(n), s10);
+    EXPECT_GT(onedpl / custom, 20.0);
+    EXPECT_LT(onedpl / custom, 200.0);
+}
+
+TEST(ScanStats, CustomScanStructureMatchesListing2) {
+    const auto k = stats_scan_fpga_custom(1024);
+    EXPECT_EQ(k.form, perf::kernel_form::single_task);
+    EXPECT_TRUE(k.args_restrict);
+    ASSERT_EQ(k.loops.size(), 1u);
+    EXPECT_EQ(k.loops[0].unroll, 2);
+    EXPECT_EQ(k.loops[0].initiation_interval, 1);
+}
+
+}  // namespace
+}  // namespace altis::scan

@@ -1,0 +1,79 @@
+#include "sycl/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace syclite {
+namespace {
+
+TEST(Buffer, CopyInFromHost) {
+    std::vector<int> host{1, 2, 3};
+    buffer<int> b(host.data(), host.size());
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b.host_data()[2], 3);
+}
+
+TEST(Buffer, WritebackOnDestruction) {
+    std::vector<int> host{0, 0, 0};
+    {
+        buffer<int> b(host.data(), host.size(), use_host_ptr);
+        auto acc = b.access(access_mode::write);
+        acc[0] = 7;
+        acc[2] = 9;
+        EXPECT_EQ(host[0], 0);  // not yet written back
+    }
+    EXPECT_EQ(host[0], 7);
+    EXPECT_EQ(host[2], 9);
+}
+
+TEST(Buffer, NoWritebackWithoutHostPtrTag) {
+    std::vector<int> host{1, 1};
+    {
+        buffer<int> b(static_cast<const int*>(host.data()), host.size());
+        b.access(access_mode::write)[0] = 42;
+    }
+    EXPECT_EQ(host[0], 1);
+}
+
+TEST(Accessor, ReadsAndWritesThroughToStorage) {
+    buffer<float> b(4);
+    auto w = b.access(access_mode::discard_write);
+    for (std::size_t i = 0; i < 4; ++i) w[i] = static_cast<float>(i) * 2.0f;
+    auto r = b.access(access_mode::read);
+    EXPECT_FLOAT_EQ(r[3], 6.0f);
+}
+
+TEST(Accessor, CountingDisabledByDefault) {
+    buffer<int> b(8);
+    auto acc = b.access(access_mode::read_write);
+    for (std::size_t i = 0; i < 8; ++i) acc[i] = 1;
+    EXPECT_EQ(b.access_count(), 0u);
+}
+
+TEST(Accessor, CountsAccessesWhenEnabled) {
+    buffer<int> b(8);
+    auto acc = b.access(access_mode::read_write);
+    {
+        scoped_access_counting counting;
+        for (std::size_t i = 0; i < 8; ++i) acc[i] = 1;
+        int sum = 0;
+        for (std::size_t i = 0; i < 8; ++i) sum += acc[i];
+        EXPECT_EQ(sum, 8);
+    }
+    EXPECT_EQ(b.access_count(), 16u);
+    // Counting stops outside the scope.
+    acc[0] = 2;
+    EXPECT_EQ(b.access_count(), 16u);
+    b.reset_access_count();
+    EXPECT_EQ(b.access_count(), 0u);
+}
+
+TEST(Accessor, GetPointerMatchesHostData) {
+    buffer<double> b(3);
+    EXPECT_EQ(b.access(access_mode::read).get_pointer(), b.host_data());
+}
+
+}  // namespace
+}  // namespace syclite

@@ -1,0 +1,90 @@
+// The replication helpers of Sec. 5.1: SubmitComputeUnits (Single-Task, from
+// Intel's samples) and the custom ND-Range distribution helper the paper's
+// authors wrote themselves.
+#include "sycl/syclite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace syclite {
+namespace {
+
+perf::kernel_stats st_stats(double trips) {
+    perf::kernel_stats k;
+    k.name = "cu";
+    perf::loop_info loop;
+    loop.trip_count = trips;
+    k.loops.push_back(loop);
+    return k;
+}
+
+TEST(ComputeUnits, EveryUnitRunsOnceWithItsIndex) {
+    queue q("stratix_10");
+    std::vector<std::atomic<int>> hits(6);
+    const auto events = submit_compute_units(q, 6, st_stats(1000), [&](int unit) {
+        hits[static_cast<std::size_t>(unit)].fetch_add(1);
+    });
+    EXPECT_EQ(events.size(), 6u);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ComputeUnits, ReplicationShortensModeledTime) {
+    queue q1("stratix_10"), q4("stratix_10");
+    const auto e1 = submit_compute_units(q1, 1, st_stats(1e7), [](int) {});
+    const auto e4 = submit_compute_units(q4, 4, st_stats(1e7), [](int) {});
+    // Wall kernel time of the group: 4 units split the trips.
+    EXPECT_NEAR(q1.kernel_ns() / q4.kernel_ns(), 4.0, 0.2);
+    EXPECT_EQ(e4.size(), 4u);
+}
+
+TEST(ComputeUnits, RejectsNonPositiveUnits) {
+    queue q("agilex");
+    EXPECT_THROW(submit_compute_units(q, 0, st_stats(10), [](int) {}),
+                 std::invalid_argument);
+}
+
+TEST(NdRangeUnits, CoversTheFullRangeExactlyOnce) {
+    queue q("stratix_10");
+    constexpr std::size_t kN = 64 * 100;
+    buffer<int> out(kN);
+    std::fill_n(out.host_data(), kN, 0);
+    perf::kernel_stats k;
+    k.name = "ndcu";
+    k.int_ops = 2;
+    submit_nd_range_units(
+        q, 3, nd_range<1>(range<1>(kN), range<1>(64)), k,
+        [acc = out.access(access_mode::read_write)](nd_item<1> it, int unit) {
+            acc[it.get_global_id(0)] += 1 + unit * 1000;
+        });
+    // Every element written exactly once; unit partition is a contiguous
+    // block partition of the group space.
+    int last_unit = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+        const int v = out.host_data()[i];
+        const int unit = (v - 1) / 1000;
+        EXPECT_EQ((v - 1) % 1000, 0) << i;
+        EXPECT_GE(unit, last_unit);
+        last_unit = std::max(last_unit, unit);
+    }
+    EXPECT_EQ(last_unit, 2);
+}
+
+TEST(NdRangeUnits, MoreUnitsThanGroupsIsFine) {
+    queue q("agilex");
+    constexpr std::size_t kN = 64 * 2;  // two groups, four units
+    buffer<int> out(kN);
+    std::fill_n(out.host_data(), kN, 0);
+    perf::kernel_stats k;
+    k.name = "ndcu";
+    submit_nd_range_units(
+        q, 4, nd_range<1>(range<1>(kN), range<1>(64)), k,
+        [acc = out.access(access_mode::read_write)](nd_item<1> it, int) {
+            acc[it.get_global_id(0)] += 1;
+        });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out.host_data()[i], 1);
+}
+
+}  // namespace
+}  // namespace syclite

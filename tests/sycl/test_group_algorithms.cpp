@@ -1,0 +1,112 @@
+#include "sycl/group_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sycl/syclite.hpp"
+
+namespace syclite {
+namespace {
+
+perf::kernel_stats stats() {
+    perf::kernel_stats k;
+    k.name = "group_alg";
+    return k;
+}
+
+TEST(GroupAlgorithms, ReduceSumsTheGroup) {
+    queue q("a100");
+    constexpr std::size_t kGroups = 4, kLocal = 64;
+    buffer<int> out(kGroups);
+    q.submit([&](handler& h) {
+        auto dst = h.get_access(out, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<1>(kGroups), range<1>(kLocal), stats(), [=](group<1> g) {
+                int vals[kLocal];
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    vals[it.get_local_id(0)] =
+                        static_cast<int>(it.get_global_id(0));
+                });
+                const int sum =
+                    reduce_over_group(g, vals, [](int a, int b) { return a + b; });
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    if (it.get_local_id(0) == 0)
+                        dst[g.get_group_linear_id()] = sum;
+                });
+            });
+    });
+    for (std::size_t grp = 0; grp < kGroups; ++grp) {
+        const int first = static_cast<int>(grp * kLocal);
+        const int expected = (first + first + kLocal - 1) * kLocal / 2;
+        EXPECT_EQ(out.host_data()[grp], expected);
+    }
+}
+
+TEST(GroupAlgorithms, ReduceWithMax) {
+    queue q("xeon_6128");
+    buffer<int> out(1);
+    q.submit([&](handler& h) {
+        auto dst = h.get_access(out, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<1>(1), range<1>(32), stats(), [=](group<1> g) {
+                int vals[32];
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    const int lid = static_cast<int>(it.get_local_id(0));
+                    vals[lid] = (lid * 37) % 29;  // scrambled
+                });
+                dst[0] = reduce_over_group(
+                    g, vals, [](int a, int b) { return std::max(a, b); });
+            });
+    });
+    EXPECT_EQ(out.host_data()[0], 28);  // max of (lid*37)%29 over 32 lids
+}
+
+TEST(GroupAlgorithms, ExclusiveScanMatchesSerial) {
+    queue q("rtx_2080");
+    constexpr std::size_t kLocal = 128;
+    buffer<int> out(kLocal);
+    buffer<int> total(1);
+    q.submit([&](handler& h) {
+        auto dst = h.get_access(out, access_mode::discard_write);
+        auto tot = h.get_access(total, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<1>(1), range<1>(kLocal), stats(), [=](group<1> g) {
+                int vals[kLocal];
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    vals[it.get_local_id(0)] =
+                        static_cast<int>(it.get_local_id(0) % 7) + 1;
+                });
+                tot[0] = exclusive_scan_over_group(g, vals, 0,
+                                                   [](int a, int b) { return a + b; });
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    dst[it.get_local_id(0)] = vals[it.get_local_id(0)];
+                });
+            });
+    });
+    int acc = 0;
+    for (std::size_t i = 0; i < kLocal; ++i) {
+        EXPECT_EQ(out.host_data()[i], acc) << i;
+        acc += static_cast<int>(i % 7) + 1;
+    }
+    EXPECT_EQ(total.host_data()[0], acc);
+}
+
+TEST(GroupAlgorithms, ScanRequiresPowerOfTwo) {
+    group<1> g(id<1>(0), range<1>(1), range<1>(48), range<1>(48));
+    int vals[48] = {};
+    EXPECT_THROW(
+        exclusive_scan_over_group(g, vals, 0, [](int a, int b) { return a + b; }),
+        std::invalid_argument);
+}
+
+TEST(GroupAlgorithms, BroadcastFillsEverySlot) {
+    group<1> g(id<1>(0), range<1>(1), range<1>(16), range<1>(16));
+    int vals[16];
+    std::iota(vals, vals + 16, 100);
+    broadcast_over_group(g, vals, 7);
+    for (int v : vals) EXPECT_EQ(v, 107);
+}
+
+}  // namespace
+}  // namespace syclite

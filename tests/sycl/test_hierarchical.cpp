@@ -1,0 +1,115 @@
+// Hierarchical (work-group + implicit barrier) execution semantics: these
+// tests exercise the pattern the migrated Altis kernels with barriers use
+// (DESIGN.md Sec. 4).
+#include "sycl/syclite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace syclite {
+namespace {
+
+perf::kernel_stats stats(const char* name) {
+    perf::kernel_stats k;
+    k.name = name;
+    return k;
+}
+
+// A two-phase kernel where phase 2 reads what *other* work-items wrote in
+// phase 1 -- only correct if an implicit barrier separates the phases.
+TEST(Hierarchical, ImplicitBarrierBetweenPhases) {
+    constexpr std::size_t kGroups = 8, kLocal = 32;
+    queue q("rtx_2080");
+    buffer<int> out(kGroups * kLocal);
+    q.submit([&](handler& h) {
+        auto acc = h.get_access(out, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<1>(kGroups), range<1>(kLocal), stats("reverse"),
+            [=](group<1> g) {
+                int tile[kLocal];  // work-group local memory
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    tile[it.get_local_id(0)] =
+                        static_cast<int>(it.get_global_id(0));
+                });
+                // implicit barrier
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    const std::size_t rev = kLocal - 1 - it.get_local_id(0);
+                    acc[it.get_global_id(0)] = tile[rev];
+                });
+            });
+    });
+    q.wait();
+    for (std::size_t grp = 0; grp < kGroups; ++grp)
+        for (std::size_t i = 0; i < kLocal; ++i)
+            EXPECT_EQ(out.host_data()[grp * kLocal + i],
+                      static_cast<int>(grp * kLocal + (kLocal - 1 - i)));
+}
+
+// Work-group tree reduction with a barrier per level.
+TEST(Hierarchical, MultiPhaseReduction) {
+    constexpr std::size_t kGroups = 4, kLocal = 64;
+    queue q("xeon_6128");
+    std::vector<float> input(kGroups * kLocal);
+    std::iota(input.begin(), input.end(), 1.0f);
+    buffer<float> in(input.data(), input.size());
+    buffer<float> sums(kGroups);
+    q.submit([&](handler& h) {
+        auto src = h.get_access(in, access_mode::read);
+        auto dst = h.get_access(sums, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<1>(kGroups), range<1>(kLocal), stats("reduce"),
+            [=](group<1> g) {
+                float tile[kLocal];
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    tile[it.get_local_id(0)] = src[it.get_global_id(0)];
+                });
+                for (std::size_t stride = kLocal / 2; stride > 0; stride /= 2) {
+                    g.parallel_for_work_item([&](h_item<1> it) {
+                        const std::size_t lid = it.get_local_id(0);
+                        if (lid < stride) tile[lid] += tile[lid + stride];
+                    });
+                }
+                g.parallel_for_work_item([&](h_item<1> it) {
+                    if (it.get_local_id(0) == 0)
+                        dst[g.get_group_linear_id()] = tile[0];
+                });
+            });
+    });
+    q.wait();
+    for (std::size_t grp = 0; grp < kGroups; ++grp) {
+        const double first = static_cast<double>(grp * kLocal + 1);
+        const double expected = (first + first + kLocal - 1) * kLocal / 2.0;
+        EXPECT_FLOAT_EQ(sums.host_data()[grp], static_cast<float>(expected));
+    }
+}
+
+TEST(Hierarchical, TwoDimensionalGroups) {
+    queue q("a100");
+    constexpr std::size_t kGy = 2, kGx = 3, kLy = 4, kLx = 5;
+    buffer<int> out(kGy * kLy * kGx * kLx);
+    q.submit([&](handler& h) {
+        auto acc = h.get_access(out, access_mode::discard_write);
+        h.parallel_for_work_group(
+            range<2>(kGy, kGx), range<2>(kLy, kLx), stats("2d"),
+            [=](group<2> g) {
+                g.parallel_for_work_item([&](h_item<2> it) {
+                    const std::size_t row = it.get_global_id(0);
+                    const std::size_t col = it.get_global_id(1);
+                    acc[row * (kGx * kLx) + col] =
+                        static_cast<int>(g.get_group_linear_id());
+                });
+            });
+    });
+    q.wait();
+    // Every element written exactly once with its group's id.
+    const int max_gid = kGy * kGx - 1;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out.host_data()[i], 0);
+        EXPECT_LE(out.host_data()[i], max_gid);
+    }
+}
+
+}  // namespace
+}  // namespace syclite

@@ -1,0 +1,60 @@
+#include "sycl/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace syclite {
+namespace {
+
+TEST(Pipe, FifoOrderSingleThread) {
+    pipe<int> p(4);
+    p.write(1);
+    p.write(2);
+    p.write(3);
+    EXPECT_EQ(p.read(), 1);
+    EXPECT_EQ(p.read(), 2);
+    p.write(4);
+    EXPECT_EQ(p.read(), 3);
+    EXPECT_EQ(p.read(), 4);
+}
+
+TEST(Pipe, TryVariantsRespectCapacity) {
+    pipe<int> p(2);
+    EXPECT_TRUE(p.try_write(1));
+    EXPECT_TRUE(p.try_write(2));
+    EXPECT_FALSE(p.try_write(3));  // full
+    int v = 0;
+    EXPECT_TRUE(p.try_read(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(p.try_read(v));
+    EXPECT_FALSE(p.try_read(v));  // empty
+}
+
+TEST(Pipe, ZeroCapacityRejected) {
+    EXPECT_THROW(pipe<int>(0), std::invalid_argument);
+}
+
+TEST(Pipe, ProducerConsumerTransfersEverythingInOrder) {
+    constexpr int kN = 20000;
+    pipe<int> p(8);  // small capacity forces frequent blocking
+    std::vector<int> received;
+    received.reserve(kN);
+    std::thread consumer([&] {
+        for (int i = 0; i < kN; ++i) received.push_back(p.read());
+    });
+    for (int i = 0; i < kN; ++i) p.write(i);
+    consumer.join();
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(kN));
+    for (int i = 0; i < kN; ++i) ASSERT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Pipe, CapacityAccessor) {
+    pipe<float> p(32);
+    EXPECT_EQ(p.capacity(), 32u);
+}
+
+}  // namespace
+}  // namespace syclite

@@ -1,0 +1,84 @@
+#include "sycl/range.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syclite {
+namespace {
+
+TEST(Range, SizeIsProductOfDims) {
+    EXPECT_EQ(range<1>(7).size(), 7u);
+    EXPECT_EQ((range<2>(3, 4).size()), 12u);
+    EXPECT_EQ((range<3>(2, 3, 4).size()), 24u);
+}
+
+TEST(Range, IndexAccess) {
+    range<3> r(2, 3, 4);
+    EXPECT_EQ(r[0], 2u);
+    EXPECT_EQ(r[1], 3u);
+    EXPECT_EQ(r[2], 4u);
+    r[1] = 9;
+    EXPECT_EQ(r.get(1), 9u);
+}
+
+TEST(NdRange, GroupRangeDividesGlobalByLocal) {
+    nd_range<2> ndr(range<2>(8, 12), range<2>(4, 3));
+    EXPECT_EQ(ndr.get_group_range()[0], 2u);
+    EXPECT_EQ(ndr.get_group_range()[1], 4u);
+}
+
+TEST(NdRange, NonDivisibleThrows) {
+    EXPECT_THROW((nd_range<1>(range<1>(10), range<1>(3))), std::invalid_argument);
+    EXPECT_THROW((nd_range<1>(range<1>(10), range<1>(0))), std::invalid_argument);
+}
+
+TEST(Linearize, RowMajorDim0Slowest) {
+    range<2> r(3, 5);
+    EXPECT_EQ(detail::linearize(id<2>(0, 0), r), 0u);
+    EXPECT_EQ(detail::linearize(id<2>(0, 4), r), 4u);
+    EXPECT_EQ(detail::linearize(id<2>(1, 0), r), 5u);
+    EXPECT_EQ(detail::linearize(id<2>(2, 3), r), 13u);
+}
+
+TEST(Linearize, DelinearizeRoundTrips) {
+    range<3> r(3, 4, 5);
+    for (std::size_t lin = 0; lin < r.size(); ++lin) {
+        const id<3> i = detail::delinearize(lin, r);
+        EXPECT_EQ(detail::linearize(i, r), lin);
+    }
+}
+
+TEST(NdItem, IdsAndRangesConsistent) {
+    nd_item<1> it(id<1>(37), id<1>(5), id<1>(2), range<1>(64), range<1>(16));
+    EXPECT_EQ(it.get_global_id(0), 37u);
+    EXPECT_EQ(it.get_local_id(0), 5u);
+    EXPECT_EQ(it.get_group(0), 2u);
+    EXPECT_EQ(it.get_global_range(0), 64u);
+    EXPECT_EQ(it.get_local_range(0), 16u);
+    EXPECT_EQ(it.get_global_linear_id(), 37u);
+    EXPECT_EQ(it.get_local_linear_id(), 5u);
+}
+
+TEST(NdItem, BarrierThrowsWithGuidance) {
+    nd_item<1> it(id<1>(0), id<1>(0), id<1>(0), range<1>(1), range<1>(1));
+    EXPECT_THROW(it.barrier(), std::logic_error);
+}
+
+TEST(Group, ParallelForWorkItemCoversGroupExactlyOnce) {
+    group<2> g(id<2>(1, 2), range<2>(2, 4), range<2>(3, 2), range<2>(6, 8));
+    std::vector<int> seen(6 * 8, 0);
+    g.parallel_for_work_item([&](h_item<2> it) {
+        seen[it.get_global_id(0) * 8 + it.get_global_id(1)]++;
+    });
+    int covered = 0;
+    for (int v : seen) covered += v;
+    EXPECT_EQ(covered, 6);  // one group's worth of items
+    // Items fall in the group's tile: rows 3..5, cols 4..5.
+    for (std::size_t rr = 0; rr < 6; ++rr)
+        for (std::size_t cc = 0; cc < 8; ++cc) {
+            const bool inside = rr >= 3 && rr < 6 && cc >= 4 && cc < 6;
+            EXPECT_EQ(seen[rr * 8 + cc], inside ? 1 : 0);
+        }
+}
+
+}  // namespace
+}  // namespace syclite

@@ -1,0 +1,68 @@
+#include "sycl/syclite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace syclite {
+namespace {
+
+TEST(Usm, HostAllocationSucceedsOnGpu) {
+    queue q("rtx_2080");
+    float* p = malloc_host<float>(128, q);
+    ASSERT_NE(p, nullptr);
+    p[0] = 1.5f;
+    p[127] = 2.5f;
+    EXPECT_FLOAT_EQ(p[0] + p[127], 4.0f);
+    usm_free(p, q);
+}
+
+// Paper Sec. 3.2.1: sycl::malloc_host queries to both Stratix 10 and Agilex
+// always return nullptr -- USM had to be removed from Altis-SYCL.
+TEST(Usm, FpgaBoardsReturnNull) {
+    for (const char* name : {"stratix_10", "agilex"}) {
+        queue q(name);
+        EXPECT_EQ(malloc_host<float>(16, q), nullptr) << name;
+        EXPECT_EQ(malloc_device<float>(16, q), nullptr) << name;
+        EXPECT_EQ(malloc_shared<float>(16, q), nullptr) << name;
+    }
+}
+
+TEST(Usm, SharedAndDeviceAllocationsOnCpuAndGpus) {
+    for (const char* name : {"xeon_6128", "a100", "max_1100"}) {
+        queue q(name);
+        double* p = malloc_shared<double>(8, q);
+        ASSERT_NE(p, nullptr) << name;
+        usm_free(p, q);
+    }
+}
+
+TEST(MemAdvise, DeviceDependentValidity) {
+    queue gpu("a100");
+    double* p = malloc_shared<double>(8, gpu);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NO_THROW(mem_advise(gpu, p, 64, mem_advice::read_mostly));
+    EXPECT_NO_THROW(mem_advise(gpu, p, 64, mem_advice::preferred_location));
+    usm_free(p, gpu);
+
+    queue cpu("xeon_6128");
+    double* pc = malloc_shared<double>(8, cpu);
+    EXPECT_NO_THROW(mem_advise(cpu, pc, 64, mem_advice::read_mostly));
+    EXPECT_THROW(mem_advise(cpu, pc, 64, mem_advice::preferred_location),
+                 std::runtime_error);
+    usm_free(pc, cpu);
+}
+
+TEST(MemAdvise, NullPointerRejected) {
+    queue q("a100");
+    EXPECT_THROW(mem_advise(q, nullptr, 64, mem_advice::read_mostly),
+                 std::invalid_argument);
+}
+
+TEST(MemAdvise, FpgaRejectsAdvise) {
+    queue q("stratix_10");
+    int dummy = 0;
+    EXPECT_THROW(mem_advise(q, &dummy, 4, mem_advice::read_mostly),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace syclite
