@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_apps.dir/ablation_apps.cpp.o"
+  "CMakeFiles/ablation_apps.dir/ablation_apps.cpp.o.d"
+  "ablation_apps"
+  "ablation_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fpga_knobs.dir/ablation_fpga_knobs.cpp.o"
+  "CMakeFiles/ablation_fpga_knobs.dir/ablation_fpga_knobs.cpp.o.d"
+  "ablation_fpga_knobs"
+  "ablation_fpga_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fpga_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rng.dir/ablation_rng.cpp.o"
+  "CMakeFiles/ablation_rng.dir/ablation_rng.cpp.o.d"
+  "ablation_rng"
+  "ablation_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

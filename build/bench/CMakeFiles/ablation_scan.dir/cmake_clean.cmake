@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scan.dir/ablation_scan.cpp.o"
+  "CMakeFiles/ablation_scan.dir/ablation_scan.cpp.o.d"
+  "ablation_scan"
+  "ablation_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_fdtd2d_decomposition.dir/fig1_fdtd2d_decomposition.cpp.o"
+  "CMakeFiles/fig1_fdtd2d_decomposition.dir/fig1_fdtd2d_decomposition.cpp.o.d"
+  "fig1_fdtd2d_decomposition"
+  "fig1_fdtd2d_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_fdtd2d_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_gpu_speedup.dir/fig2_gpu_speedup.cpp.o"
+  "CMakeFiles/fig2_gpu_speedup.dir/fig2_gpu_speedup.cpp.o.d"
+  "fig2_gpu_speedup"
+  "fig2_gpu_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_gpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kmeans_pipes.dir/fig3_kmeans_pipes.cpp.o"
+  "CMakeFiles/fig3_kmeans_pipes.dir/fig3_kmeans_pipes.cpp.o.d"
+  "fig3_kmeans_pipes"
+  "fig3_kmeans_pipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kmeans_pipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fpga_opt.dir/fig4_fpga_opt.cpp.o"
+  "CMakeFiles/fig4_fpga_opt.dir/fig4_fpga_opt.cpp.o.d"
+  "fig4_fpga_opt"
+  "fig4_fpga_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fpga_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_hbm_agilex.dir/future_hbm_agilex.cpp.o"
+  "CMakeFiles/future_hbm_agilex.dir/future_hbm_agilex.cpp.o.d"
+  "future_hbm_agilex"
+  "future_hbm_agilex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_hbm_agilex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

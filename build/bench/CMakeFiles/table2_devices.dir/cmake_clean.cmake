@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_devices.dir/table2_devices.cpp.o"
+  "CMakeFiles/table2_devices.dir/table2_devices.cpp.o.d"
+  "table2_devices"
+  "table2_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

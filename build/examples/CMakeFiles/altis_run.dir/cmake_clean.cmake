@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_run.dir/altis_run.cpp.o"
+  "CMakeFiles/altis_run.dir/altis_run.cpp.o.d"
+  "altis_run"
+  "altis_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

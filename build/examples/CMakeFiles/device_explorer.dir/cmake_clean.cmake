@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_explorer.dir/device_explorer.cpp.o"
+  "CMakeFiles/device_explorer.dir/device_explorer.cpp.o.d"
+  "device_explorer"
+  "device_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_migration.dir/fpga_migration.cpp.o"
+  "CMakeFiles/fpga_migration.dir/fpga_migration.cpp.o.d"
+  "fpga_migration"
+  "fpga_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

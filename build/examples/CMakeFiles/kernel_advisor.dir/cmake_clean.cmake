@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_advisor.dir/kernel_advisor.cpp.o"
+  "CMakeFiles/kernel_advisor.dir/kernel_advisor.cpp.o.d"
+  "kernel_advisor"
+  "kernel_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

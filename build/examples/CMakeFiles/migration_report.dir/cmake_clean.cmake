@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_report.dir/migration_report.cpp.o"
+  "CMakeFiles/migration_report.dir/migration_report.cpp.o.d"
+  "migration_report"
+  "migration_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_scenes.dir/render_scenes.cpp.o"
+  "CMakeFiles/render_scenes.dir/render_scenes.cpp.o.d"
+  "render_scenes"
+  "render_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

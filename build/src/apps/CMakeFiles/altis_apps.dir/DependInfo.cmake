@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cfd/cfd.cpp" "src/apps/CMakeFiles/altis_apps.dir/cfd/cfd.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/cfd/cfd.cpp.o.d"
+  "/root/repo/src/apps/cfd/cfd_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/cfd/cfd_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/cfd/cfd_model.cpp.o.d"
+  "/root/repo/src/apps/common/app.cpp" "src/apps/CMakeFiles/altis_apps.dir/common/app.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/common/app.cpp.o.d"
+  "/root/repo/src/apps/common/image.cpp" "src/apps/CMakeFiles/altis_apps.dir/common/image.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/common/image.cpp.o.d"
+  "/root/repo/src/apps/common/region.cpp" "src/apps/CMakeFiles/altis_apps.dir/common/region.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/common/region.cpp.o.d"
+  "/root/repo/src/apps/common/suite.cpp" "src/apps/CMakeFiles/altis_apps.dir/common/suite.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/common/suite.cpp.o.d"
+  "/root/repo/src/apps/dwt2d/dwt2d.cpp" "src/apps/CMakeFiles/altis_apps.dir/dwt2d/dwt2d.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/dwt2d/dwt2d.cpp.o.d"
+  "/root/repo/src/apps/dwt2d/dwt2d_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/dwt2d/dwt2d_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/dwt2d/dwt2d_model.cpp.o.d"
+  "/root/repo/src/apps/fdtd2d/fdtd2d.cpp" "src/apps/CMakeFiles/altis_apps.dir/fdtd2d/fdtd2d.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/fdtd2d/fdtd2d.cpp.o.d"
+  "/root/repo/src/apps/fdtd2d/fdtd2d_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/fdtd2d/fdtd2d_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/fdtd2d/fdtd2d_model.cpp.o.d"
+  "/root/repo/src/apps/kmeans/kmeans.cpp" "src/apps/CMakeFiles/altis_apps.dir/kmeans/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/kmeans/kmeans.cpp.o.d"
+  "/root/repo/src/apps/kmeans/kmeans_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/kmeans/kmeans_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/kmeans/kmeans_model.cpp.o.d"
+  "/root/repo/src/apps/lavamd/lavamd.cpp" "src/apps/CMakeFiles/altis_apps.dir/lavamd/lavamd.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/lavamd/lavamd.cpp.o.d"
+  "/root/repo/src/apps/lavamd/lavamd_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/lavamd/lavamd_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/lavamd/lavamd_model.cpp.o.d"
+  "/root/repo/src/apps/mandelbrot/mandelbrot.cpp" "src/apps/CMakeFiles/altis_apps.dir/mandelbrot/mandelbrot.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/mandelbrot/mandelbrot.cpp.o.d"
+  "/root/repo/src/apps/mandelbrot/mandelbrot_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/mandelbrot/mandelbrot_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/mandelbrot/mandelbrot_model.cpp.o.d"
+  "/root/repo/src/apps/nw/nw.cpp" "src/apps/CMakeFiles/altis_apps.dir/nw/nw.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/nw/nw.cpp.o.d"
+  "/root/repo/src/apps/nw/nw_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/nw/nw_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/nw/nw_model.cpp.o.d"
+  "/root/repo/src/apps/particlefilter/particlefilter.cpp" "src/apps/CMakeFiles/altis_apps.dir/particlefilter/particlefilter.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/particlefilter/particlefilter.cpp.o.d"
+  "/root/repo/src/apps/particlefilter/particlefilter_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/particlefilter/particlefilter_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/particlefilter/particlefilter_model.cpp.o.d"
+  "/root/repo/src/apps/raytracing/raytracing.cpp" "src/apps/CMakeFiles/altis_apps.dir/raytracing/raytracing.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/raytracing/raytracing.cpp.o.d"
+  "/root/repo/src/apps/raytracing/raytracing_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/raytracing/raytracing_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/raytracing/raytracing_model.cpp.o.d"
+  "/root/repo/src/apps/register_all.cpp" "src/apps/CMakeFiles/altis_apps.dir/register_all.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/register_all.cpp.o.d"
+  "/root/repo/src/apps/srad/srad.cpp" "src/apps/CMakeFiles/altis_apps.dir/srad/srad.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/srad/srad.cpp.o.d"
+  "/root/repo/src/apps/srad/srad_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/srad/srad_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/srad/srad_model.cpp.o.d"
+  "/root/repo/src/apps/where/where.cpp" "src/apps/CMakeFiles/altis_apps.dir/where/where.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/where/where.cpp.o.d"
+  "/root/repo/src/apps/where/where_model.cpp" "src/apps/CMakeFiles/altis_apps.dir/where/where_model.cpp.o" "gcc" "src/apps/CMakeFiles/altis_apps.dir/where/where_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/altis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/altis_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/altis_syclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/altis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/altis_scan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/option_parser.cpp" "src/core/CMakeFiles/altis_core.dir/option_parser.cpp.o" "gcc" "src/core/CMakeFiles/altis_core.dir/option_parser.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/altis_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/altis_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/altis_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/altis_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/result_database.cpp" "src/core/CMakeFiles/altis_core.dir/result_database.cpp.o" "gcc" "src/core/CMakeFiles/altis_core.dir/result_database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_core.dir/option_parser.cpp.o"
+  "CMakeFiles/altis_core.dir/option_parser.cpp.o.d"
+  "CMakeFiles/altis_core.dir/registry.cpp.o"
+  "CMakeFiles/altis_core.dir/registry.cpp.o.d"
+  "CMakeFiles/altis_core.dir/report.cpp.o"
+  "CMakeFiles/altis_core.dir/report.cpp.o.d"
+  "CMakeFiles/altis_core.dir/result_database.cpp.o"
+  "CMakeFiles/altis_core.dir/result_database.cpp.o.d"
+  "libaltis_core.a"
+  "libaltis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_dpct.dir/dpct.cpp.o"
+  "CMakeFiles/altis_dpct.dir/dpct.cpp.o.d"
+  "libaltis_dpct.a"
+  "libaltis_dpct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_dpct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/analysis.cpp" "src/perf/CMakeFiles/altis_perf.dir/analysis.cpp.o" "gcc" "src/perf/CMakeFiles/altis_perf.dir/analysis.cpp.o.d"
+  "/root/repo/src/perf/device.cpp" "src/perf/CMakeFiles/altis_perf.dir/device.cpp.o" "gcc" "src/perf/CMakeFiles/altis_perf.dir/device.cpp.o.d"
+  "/root/repo/src/perf/model.cpp" "src/perf/CMakeFiles/altis_perf.dir/model.cpp.o" "gcc" "src/perf/CMakeFiles/altis_perf.dir/model.cpp.o.d"
+  "/root/repo/src/perf/overhead.cpp" "src/perf/CMakeFiles/altis_perf.dir/overhead.cpp.o" "gcc" "src/perf/CMakeFiles/altis_perf.dir/overhead.cpp.o.d"
+  "/root/repo/src/perf/resource_model.cpp" "src/perf/CMakeFiles/altis_perf.dir/resource_model.cpp.o" "gcc" "src/perf/CMakeFiles/altis_perf.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

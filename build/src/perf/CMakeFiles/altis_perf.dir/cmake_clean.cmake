@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_perf.dir/analysis.cpp.o"
+  "CMakeFiles/altis_perf.dir/analysis.cpp.o.d"
+  "CMakeFiles/altis_perf.dir/device.cpp.o"
+  "CMakeFiles/altis_perf.dir/device.cpp.o.d"
+  "CMakeFiles/altis_perf.dir/model.cpp.o"
+  "CMakeFiles/altis_perf.dir/model.cpp.o.d"
+  "CMakeFiles/altis_perf.dir/overhead.cpp.o"
+  "CMakeFiles/altis_perf.dir/overhead.cpp.o.d"
+  "CMakeFiles/altis_perf.dir/resource_model.cpp.o"
+  "CMakeFiles/altis_perf.dir/resource_model.cpp.o.d"
+  "libaltis_perf.a"
+  "libaltis_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

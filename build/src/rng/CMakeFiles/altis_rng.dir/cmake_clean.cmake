@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_rng.dir/philox.cpp.o"
+  "CMakeFiles/altis_rng.dir/philox.cpp.o.d"
+  "CMakeFiles/altis_rng.dir/xorwow.cpp.o"
+  "CMakeFiles/altis_rng.dir/xorwow.cpp.o.d"
+  "libaltis_rng.a"
+  "libaltis_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

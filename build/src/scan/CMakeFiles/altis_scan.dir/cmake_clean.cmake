@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_scan.dir/scan.cpp.o"
+  "CMakeFiles/altis_scan.dir/scan.cpp.o.d"
+  "libaltis_scan.a"
+  "libaltis_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

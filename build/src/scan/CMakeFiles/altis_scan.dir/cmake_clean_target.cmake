@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaltis_scan.a"
+)

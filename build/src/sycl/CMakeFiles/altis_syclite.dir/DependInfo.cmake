@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sycl/queue.cpp" "src/sycl/CMakeFiles/altis_syclite.dir/queue.cpp.o" "gcc" "src/sycl/CMakeFiles/altis_syclite.dir/queue.cpp.o.d"
+  "/root/repo/src/sycl/thread_pool.cpp" "src/sycl/CMakeFiles/altis_syclite.dir/thread_pool.cpp.o" "gcc" "src/sycl/CMakeFiles/altis_syclite.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/altis_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

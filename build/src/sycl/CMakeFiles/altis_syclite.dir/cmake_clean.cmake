@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altis_syclite.dir/queue.cpp.o"
+  "CMakeFiles/altis_syclite.dir/queue.cpp.o.d"
+  "CMakeFiles/altis_syclite.dir/thread_pool.cpp.o"
+  "CMakeFiles/altis_syclite.dir/thread_pool.cpp.o.d"
+  "libaltis_syclite.a"
+  "libaltis_syclite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altis_syclite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for altis_syclite.
+# This may be replaced when dependencies are built.

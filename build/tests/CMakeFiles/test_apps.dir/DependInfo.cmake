@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_access_counting.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_access_counting.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_access_counting.cpp.o.d"
+  "/root/repo/tests/apps/test_cfd.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_cfd.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_cfd.cpp.o.d"
+  "/root/repo/tests/apps/test_dwt2d.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_dwt2d.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_dwt2d.cpp.o.d"
+  "/root/repo/tests/apps/test_fdtd2d.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_fdtd2d.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_fdtd2d.cpp.o.d"
+  "/root/repo/tests/apps/test_golden_properties.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_golden_properties.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_golden_properties.cpp.o.d"
+  "/root/repo/tests/apps/test_image.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_image.cpp.o.d"
+  "/root/repo/tests/apps/test_kmeans.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_kmeans.cpp.o.d"
+  "/root/repo/tests/apps/test_lavamd.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_lavamd.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_lavamd.cpp.o.d"
+  "/root/repo/tests/apps/test_mandelbrot.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_mandelbrot.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_mandelbrot.cpp.o.d"
+  "/root/repo/tests/apps/test_nw.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_nw.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_nw.cpp.o.d"
+  "/root/repo/tests/apps/test_particlefilter.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_particlefilter.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_particlefilter.cpp.o.d"
+  "/root/repo/tests/apps/test_raytracing.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_raytracing.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_raytracing.cpp.o.d"
+  "/root/repo/tests/apps/test_region.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_region.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_region.cpp.o.d"
+  "/root/repo/tests/apps/test_srad.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_srad.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_srad.cpp.o.d"
+  "/root/repo/tests/apps/test_suite_properties.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_suite_properties.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_suite_properties.cpp.o.d"
+  "/root/repo/tests/apps/test_verify.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_verify.cpp.o.d"
+  "/root/repo/tests/apps/test_where.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_where.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_where.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/altis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/altis_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/altis_syclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/altis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/altis_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpct/CMakeFiles/altis_dpct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

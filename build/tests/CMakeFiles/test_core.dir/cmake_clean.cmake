@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_option_parser.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_option_parser.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_registry.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_registry.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_result_database.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_result_database.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

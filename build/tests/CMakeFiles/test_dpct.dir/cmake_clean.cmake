@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpct.dir/dpct/test_dpct.cpp.o"
+  "CMakeFiles/test_dpct.dir/dpct/test_dpct.cpp.o.d"
+  "test_dpct"
+  "test_dpct.pdb"
+  "test_dpct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/perf/test_analysis.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_analysis.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_device.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_device.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_model.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_model.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_overhead.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_overhead.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_resource_model.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_resource_model.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+  "test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

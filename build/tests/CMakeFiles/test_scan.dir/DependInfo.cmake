@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scan/test_scan.cpp" "tests/CMakeFiles/test_scan.dir/scan/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_scan.dir/scan/test_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/altis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/altis_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/altis_syclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/altis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/altis_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpct/CMakeFiles/altis_dpct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

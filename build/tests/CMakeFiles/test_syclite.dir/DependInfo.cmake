@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sycl/test_buffer.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_buffer.cpp.o.d"
+  "/root/repo/tests/sycl/test_compute_units.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_compute_units.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_compute_units.cpp.o.d"
+  "/root/repo/tests/sycl/test_group_algorithms.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_group_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_group_algorithms.cpp.o.d"
+  "/root/repo/tests/sycl/test_hierarchical.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/sycl/test_pipe.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_pipe.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_pipe.cpp.o.d"
+  "/root/repo/tests/sycl/test_queue.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_queue.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_queue.cpp.o.d"
+  "/root/repo/tests/sycl/test_range.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_range.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_range.cpp.o.d"
+  "/root/repo/tests/sycl/test_thread_pool.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/sycl/test_usm.cpp" "tests/CMakeFiles/test_syclite.dir/sycl/test_usm.cpp.o" "gcc" "tests/CMakeFiles/test_syclite.dir/sycl/test_usm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/altis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/altis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/altis_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sycl/CMakeFiles/altis_syclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/altis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/altis_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpct/CMakeFiles/altis_dpct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

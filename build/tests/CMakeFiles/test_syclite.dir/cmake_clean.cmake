@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syclite.dir/sycl/test_buffer.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_buffer.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_compute_units.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_compute_units.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_group_algorithms.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_group_algorithms.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_hierarchical.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_hierarchical.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_pipe.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_pipe.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_queue.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_queue.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_range.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_range.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_thread_pool.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_syclite.dir/sycl/test_usm.cpp.o"
+  "CMakeFiles/test_syclite.dir/sycl/test_usm.cpp.o.d"
+  "test_syclite"
+  "test_syclite.pdb"
+  "test_syclite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syclite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_syclite[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_scan[1]_include.cmake")
+include("/root/repo/build/tests/test_dpct[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
