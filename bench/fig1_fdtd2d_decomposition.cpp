@@ -7,8 +7,12 @@
 #include "apps/common/app.hpp"
 #include "apps/fdtd2d/fdtd2d.hpp"
 #include "core/report.hpp"
+#include "trace/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("fig1_fdtd2d_decomposition");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     using namespace altis;
     namespace perf = altis::perf;
@@ -65,5 +69,5 @@ int main() {
     std::cout << "Size 3: SYCL kernel / SYCL non-kernel       = "
               << Table::num(sycl3.kernel_ms() / sycl3.non_kernel_ms(), 2)
               << "  (paper: ~2.7)\n";
-    return 0;
+    return trace_harness.finish();
 }

@@ -10,6 +10,7 @@
 #include "apps/common/suite.hpp"
 #include "core/report.hpp"
 #include "core/result_database.hpp"
+#include "trace/harness.hpp"
 
 namespace {
 
@@ -68,7 +69,10 @@ void panel(const char* title, Variant v,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("fig2_gpu_speedup");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     std::cout << "Figure 2: Speedup of Altis-SYCL over Altis (CUDA) on the "
                  "RTX 2080\n\n";
     panel("Baseline (DPCT migration, functionally correct)", Variant::sycl_base,
@@ -76,5 +80,5 @@ int main() {
     std::cout << "paper geomean reference: optimized 1.0 / 1.1 / 1.3\n\n";
     panel("Optimized (Sec. 3.3)", Variant::sycl_opt,
           &bench::SuiteEntry::paper_fig2_optimized);
-    return 0;
+    return trace_harness.finish();
 }

@@ -10,8 +10,12 @@
 #include "apps/common/app.hpp"
 #include "apps/kmeans/kmeans.hpp"
 #include "core/report.hpp"
+#include "trace/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("fig3_kmeans_pipes");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     using altis::Variant;
     namespace apps = altis::apps;
@@ -63,5 +67,5 @@ int main() {
     std::cout << "functional check (size 1): baseline err=" << base.error
               << ", dataflow err=" << opt.error
               << " -- both verified against the host reference\n";
-    return 0;
+    return trace_harness.finish();
 }

@@ -7,8 +7,12 @@
 #include "apps/common/suite.hpp"
 #include "core/report.hpp"
 #include "core/result_database.hpp"
+#include "trace/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("fig4_fpga_opt");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     using altis::Variant;
     namespace bench = altis::bench;
@@ -43,5 +47,5 @@ int main() {
               << ", size2 " << Table::num(db.geomean("speedup_size2"), 1)
               << ", size3 " << Table::num(db.geomean("speedup_size3"), 1)
               << "   (paper: 10.7 / 20.7 / 35.6)\n";
-    return 0;
+    return trace_harness.finish();
 }

@@ -7,8 +7,12 @@
 #include "apps/common/suite.hpp"
 #include "core/report.hpp"
 #include "core/result_database.hpp"
+#include "trace/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("fig5_relative_speedup");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     using altis::Variant;
     namespace bench = altis::bench;
@@ -81,5 +85,5 @@ int main() {
         ++di;
     }
     g.print(std::cout);
-    return 0;
+    return trace_harness.finish();
 }

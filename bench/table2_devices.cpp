@@ -7,8 +7,12 @@
 
 #include "core/report.hpp"
 #include "perf/device.hpp"
+#include "trace/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("table2_devices");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     namespace perf = altis::perf;
 
@@ -47,5 +51,5 @@ int main() {
 
     std::cout << "\nPaper reference: FPGA peak attainable 2.4-4.2 TFLOP/s "
                  "(Stratix 10), 2.3-5.0 TFLOP/s (Agilex).\n";
-    return 0;
+    return trace_harness.finish();
 }

@@ -9,6 +9,7 @@
 #include "apps/common/suite.hpp"
 #include "core/report.hpp"
 #include "perf/resource_model.hpp"
+#include "trace/harness.hpp"
 
 namespace {
 
@@ -44,7 +45,10 @@ const PaperRow* paper_row(const std::string& label) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    altis::trace::cli_harness trace_harness("table3_resources");
+    if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
+
     using altis::Table;
     namespace bench = altis::bench;
     namespace perf = altis::perf;
@@ -100,5 +104,5 @@ int main() {
               << s10.total_brams << ", DSP " << s10.total_dsps << "; Agilex ALM "
               << agx.total_alms << ", BRAM " << agx.total_brams << ", DSP "
               << agx.total_dsps << '\n';
-    return 0;
+    return trace_harness.finish();
 }

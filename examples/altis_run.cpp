@@ -5,12 +5,14 @@
 //   ./examples/altis_run --help
 //   ./examples/altis_run kmeans --device stratix_10 --variant fpga_opt
 //   ./examples/altis_run all --size 1 --device rtx_2080 --passes 3 --csv
+//   ./examples/altis_run kmeans --trace out.json --profile
 #include <iostream>
 
 #include "apps/common/app.hpp"
 #include "core/option_parser.hpp"
 #include "core/registry.hpp"
 #include "core/result_database.hpp"
+#include "trace/options.hpp"
 
 int main(int argc, char** argv) {
     using namespace altis;
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
     opts.add_flag("csv", "dump raw trial values as CSV");
     opts.add_flag("json", "dump results as JSON");
     opts.add_flag("list", "list registered applications and exit");
+    trace::add_trace_options(opts);
 
     try {
         if (!opts.parse(argc, argv, std::cout)) return 0;
@@ -72,6 +75,12 @@ int main(int argc, char** argv) {
         for (const auto& app : registry.apps()) targets.push_back(app.name);
     }
 
+    // With --trace/--profile active, every queue the apps construct emits
+    // spans into this session; each app run becomes a top-level region span.
+    const trace::options topts = trace::options::from(opts);
+    trace::session tsession("altis_run");
+    trace::session::scope tscope(tsession);
+
     ResultDatabase db;
     int failures = 0;
     for (const auto& name : targets) {
@@ -90,6 +99,9 @@ int main(int argc, char** argv) {
             std::cout << name << ": skipped (variant/device unsupported)\n";
             continue;
         }
+        tsession.begin_region(name + "/" + to_string(cfg.variant) + "/size" +
+                                  std::to_string(cfg.size),
+                              tsession.last_end_ns());
         try {
             app->run(cfg, db);
             std::cout << name << ": ok (" << cfg.passes << " passes, verified)\n";
@@ -97,6 +109,7 @@ int main(int argc, char** argv) {
             std::cout << name << ": FAILED -- " << e.what() << "\n";
             ++failures;
         }
+        tsession.end_region(tsession.last_end_ns());
     }
 
     std::cout << '\n';
@@ -106,5 +119,9 @@ int main(int argc, char** argv) {
         db.dump_json(std::cout);
     else
         db.dump_summary(std::cout);
+    if (topts.enabled() &&
+        !trace::finish_session(tsession, topts, tsession.last_end_ns(),
+                               std::cout, std::cerr))
+        return 2;
     return failures == 0 ? 0 : 1;
 }

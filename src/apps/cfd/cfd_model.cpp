@@ -154,6 +154,7 @@ timed_region region(bool fp64, Variant v, const perf::device_spec& dev,
                     int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("cfd/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     const double rb = fp64 ? 8.0 : 4.0;
     r.transfer_bytes = static_cast<double>(p.nel()) * kVars * rb * 2.0 +

@@ -26,6 +26,13 @@ std::vector<perf::kernel_stats> timed_region::all_kernels() const {
 timing_estimate simulate_region(const timed_region& region,
                                 const perf::device_spec& dev,
                                 perf::runtime_kind rt) {
+    return simulate_region(region, dev, rt, trace::session::current());
+}
+
+timing_estimate simulate_region(const timed_region& region,
+                                const perf::device_spec& dev,
+                                perf::runtime_kind rt,
+                                trace::session* trace) {
     timing_estimate t;
 
     double design_fmax = 0.0;
@@ -41,34 +48,98 @@ timing_estimate simulate_region(const timed_region& region,
 
     const double launch = perf::launch_overhead_ns(rt, dev);
 
+    // Span emission walks one simulated cursor through the same charges the
+    // estimate accumulates; each slot is one aggregated span (invocations =
+    // slot count) so huge regions stay inspectable without emitting
+    // thousands of identical events.
+    double cursor = 0.0;
+    if (trace != nullptr) {
+        if (trace->device() == nullptr) trace->bind_device(dev);
+        cursor = trace->last_end_ns();
+        trace->begin_region(region.name, cursor);
+    }
+    auto emit = [&](trace::span s) {
+        if (trace != nullptr) trace->record(std::move(s));
+    };
+
+    if (region.include_setup) {
+        const double setup = perf::setup_overhead_ns(rt, dev);
+        t.non_kernel_ns += setup;
+        emit({trace::span_kind::setup, "setup", cursor, cursor + setup});
+        cursor += setup;
+    }
+
     for (const auto& slot : region.kernels) {
-        t.kernel_ns += one_kernel_ns(slot.stats) * slot.count;
+        const double per = one_kernel_ns(slot.stats);
+        t.kernel_ns += per * slot.count;
         t.non_kernel_ns += launch * slot.count;
+        emit({trace::span_kind::overhead, "launch", cursor,
+              cursor + launch * slot.count});
+        cursor += launch * slot.count;
+        if (trace != nullptr)
+            trace->record_kernel(slot.stats, cursor, cursor + per * slot.count,
+                                 0, slot.count);
+        cursor += per * slot.count;
     }
     for (const auto& group : region.dataflow) {
         double worst = 0.0;
         for (const auto& k : group.kernels)
             worst = std::max(worst, one_kernel_ns(k));
         t.kernel_ns += worst * group.count;
-        t.non_kernel_ns +=
+        const double group_launch =
             launch * group.count * static_cast<double>(group.kernels.size());
+        t.non_kernel_ns += group_launch;
+        emit({trace::span_kind::overhead, "launch", cursor,
+              cursor + group_launch});
+        cursor += group_launch;
+        if (trace != nullptr) {
+            std::string label = "dataflow";
+            for (const auto& k : group.kernels) label += ":" + k.name;
+            trace->record({trace::span_kind::dataflow_group, label, cursor,
+                           cursor + worst * group.count});
+            int lane = 1;
+            for (const auto& k : group.kernels)
+                trace->record_kernel(k, cursor,
+                                     cursor + one_kernel_ns(k) * group.count,
+                                     lane++, group.count);
+        }
+        cursor += worst * group.count;
     }
 
     if (region.transfer_calls > 0.0) {
         // Amortize the payload across the calls; transfer_ns adds the fixed
         // per-call cost itself.
         const double per_call = region.transfer_bytes / region.transfer_calls;
-        t.non_kernel_ns +=
+        const double total =
             perf::transfer_ns(rt, dev, per_call) * region.transfer_calls;
+        t.non_kernel_ns += total;
+        trace::span s{trace::span_kind::transfer, "transfers", cursor,
+                      cursor + total};
+        s.counters.bytes = region.transfer_bytes;
+        s.counters.invocations = region.transfer_calls;
+        emit(std::move(s));
+        cursor += total;
     }
-    t.non_kernel_ns += perf::sync_overhead_ns(rt, dev) * region.syncs;
-    t.non_kernel_ns += region.extra_non_kernel_ns;
-    if (region.include_setup) t.non_kernel_ns += perf::setup_overhead_ns(rt, dev);
+    {
+        const double sync = perf::sync_overhead_ns(rt, dev) * region.syncs;
+        t.non_kernel_ns += sync;
+        emit({trace::span_kind::sync, "sync", cursor, cursor + sync});
+        cursor += sync;
+    }
+    if (region.extra_non_kernel_ns > 0.0) {
+        t.non_kernel_ns += region.extra_non_kernel_ns;
+        emit({trace::span_kind::overhead, "library overhead", cursor,
+              cursor + region.extra_non_kernel_ns});
+        cursor += region.extra_non_kernel_ns;
+    }
 
     // An unsynchronized timed region only observes submission cost: the
     // kernels are still in flight when the timer stops (FDTD2D's original
-    // CUDA mismeasurement, Sec. 3.3).
+    // CUDA mismeasurement, Sec. 3.3). The kernel spans stay on the trace --
+    // the work happens even if the host timer misses it.
     if (!region.synchronized) t.kernel_ns = 0.0;
+
+    if (trace != nullptr) trace->end_region(cursor);
 
     return t;
 }

@@ -14,6 +14,7 @@
 #include "perf/device.hpp"
 #include "perf/kernel_stats.hpp"
 #include "perf/overhead.hpp"
+#include "trace/session.hpp"
 
 namespace altis::apps {
 
@@ -31,6 +32,8 @@ struct dataflow_slot {
 };
 
 struct timed_region {
+    /// Label used for the region's top-level trace span.
+    std::string name = "timed_region";
     std::vector<kernel_slot> kernels;
     std::vector<dataflow_slot> dataflow;
     double transfer_bytes = 0.0;  ///< total PCIe payload in the region
@@ -62,8 +65,20 @@ struct timing_estimate {
 
 /// Simulate the region on a device under a runtime. On FPGAs all kernels
 /// share one bitstream: the design Fmax (min over kernels) clocks everything.
+///
+/// When a trace session is active (trace::session::current(), or an explicit
+/// one via the overload) the simulation also emits spans: the region itself
+/// as a top-level span, one aggregated kernel span per slot (`invocations` =
+/// the slot's count), dataflow groups as an envelope plus per-kernel lanes,
+/// and transfer/sync/setup/overhead spans for the non-kernel charges.
+/// Successive simulations append after the session's last span, so one trace
+/// file can hold a whole bench sweep.
 [[nodiscard]] timing_estimate simulate_region(const timed_region& region,
                                               const perf::device_spec& dev,
                                               perf::runtime_kind rt);
+[[nodiscard]] timing_estimate simulate_region(const timed_region& region,
+                                              const perf::device_spec& dev,
+                                              perf::runtime_kind rt,
+                                              trace::session* trace);
 
 }  // namespace altis::apps

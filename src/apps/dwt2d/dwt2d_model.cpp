@@ -43,6 +43,7 @@ timed_region region(Variant v, const perf::device_spec& dev, int size) {
         throw std::invalid_argument("dwt2d: no optimized FPGA version");
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("dwt2d/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.pixels()) * 4.0 * 2.0;
     r.transfer_calls = 2.0;

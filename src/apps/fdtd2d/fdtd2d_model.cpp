@@ -40,6 +40,7 @@ timed_region make_region(Variant v, const perf::device_spec& dev, int size,
                          bool synchronized) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("fdtd2d/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.cells()) * 4.0 * 4.0;  // 3 H2D + 1 D2H
     r.transfer_calls = 4.0;

@@ -158,6 +158,7 @@ perf::kernel_stats stats_resetaccfin_st(const params& p,
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("kmeans/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.n * p.d) * 4.0 +   // points H2D
                        static_cast<double>(p.k * p.d) * 4.0 * 2.0 +  // centers

@@ -47,6 +47,7 @@ perf::kernel_stats stats_boxes(const params& p, Variant v,
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("lavamd/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.particles()) * 16.0 * 2.0;
     r.transfer_calls = 2.0;

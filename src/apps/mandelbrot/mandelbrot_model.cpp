@@ -93,6 +93,7 @@ perf::kernel_stats stats_single_task(const params& p,
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("mandelbrot/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.pixels()) * 2.0;  // result D2H
     r.transfer_calls = 1.0;

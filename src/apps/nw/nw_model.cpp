@@ -58,6 +58,7 @@ perf::kernel_stats stats_diag(const params& p, Variant v,
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("nw/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     const double m = static_cast<double>(p.n + 1);
     r.transfer_bytes = m * m * 4.0 * 2.0 + 2.0 * static_cast<double>(p.n);

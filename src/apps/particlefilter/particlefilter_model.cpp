@@ -200,6 +200,7 @@ timed_region make_region(flavor f, Variant v, const perf::device_spec& dev,
                          int size, bool cuda_pow_fixed) {
     const params p = params::preset(size, f);
     timed_region r;
+    r.name = std::string("particlefilter/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = static_cast<double>(p.frames) * p.grid * p.grid +
                        static_cast<double>(p.frames) * 8.0;

@@ -81,6 +81,7 @@ perf::kernel_stats stats_render(const params& p, Variant v,
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("raytracing/") + to_string(v) + "/size" + std::to_string(size);
     r.include_setup = false;  // timed region excludes one-time setup (warm-up)
     r.transfer_bytes = 23.0 * sizeof(sphere) +
                        static_cast<double>(p.pixels()) * sizeof(vec3);

@@ -98,6 +98,7 @@ double onedpl_scan_overhead_ns(const params& p, const perf::device_spec& dev) {
 timed_region region(Variant v, const perf::device_spec& dev, int size) {
     const params p = params::preset(size);
     timed_region r;
+    r.name = std::string("where/") + to_string(v) + "/size" + std::to_string(size);
     // Where's timed region covers the query kernels only (data staging is
     // excluded), matching the functional run().
     r.include_setup = false;

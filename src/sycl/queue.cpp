@@ -9,7 +9,12 @@
 namespace syclite {
 
 queue::queue(const perf::device_spec& dev, perf::runtime_kind rt)
-    : dev_(dev), rt_(rt) {}
+    : dev_(dev), rt_(rt), trace_(trace::session::current()) {
+    if (trace_ != nullptr) {
+        if (trace_->device() == nullptr) trace_->bind_device(dev_);
+        trace_base_ns_ = trace_->last_end_ns();
+    }
+}
 
 queue::queue(const std::string& device_name, perf::runtime_kind rt)
     : queue(perf::device_by_name(device_name), rt) {}
@@ -20,7 +25,7 @@ queue::~queue() {
         if (t.joinable()) t.join();
 }
 
-event queue::record(double duration_ns) {
+event queue::record(const perf::kernel_stats& stats, double duration_ns) {
     const double launch = perf::launch_overhead_ns(rt_, dev_);
     const double submit = sim_now_ns_;
     const double start = submit + launch;
@@ -28,7 +33,13 @@ event queue::record(double duration_ns) {
     sim_now_ns_ = end;
     non_kernel_ns_ += launch;
     kernel_ns_ += duration_ns;
-    events_.emplace_back(submit, start, end);
+    if (trace_ != nullptr) {
+        const double b = trace_base_ns_;
+        trace_->record({trace::span_kind::overhead, "launch", b + submit,
+                        b + start});
+        trace_->record_kernel(stats, b + start, b + end);
+    }
+    events_.emplace_back(submit, start, end, stats.name);
     return events_.back();
 }
 
@@ -55,7 +66,7 @@ event queue::finish_submit(handler&& h) {
         (dev_.is_fpga() && design_fmax_mhz_ > 0.0)
             ? perf::fpga_kernel_time_ns(h.stats(), dev_, design_fmax_mhz_)
             : perf::kernel_time_ns(h.stats(), dev_);
-    return record(duration);
+    return record(h.stats(), duration);
 }
 
 void queue::set_design(const std::vector<perf::kernel_stats>& design_kernels) {
@@ -100,22 +111,41 @@ std::vector<event> queue::end_dataflow() {
         for (const auto& s : pending_stats_)
             durations.push_back(perf::kernel_time_ns(s, dev_));
     }
-    pending_stats_.clear();
 
     const double launch = perf::launch_overhead_ns(rt_, dev_);
     const double submit = sim_now_ns_;
     const double start = submit + launch;
     std::vector<event> evs;
     double group_end = start;
-    for (double d : durations) {
-        evs.emplace_back(submit, start, start + d);
-        group_end = std::max(group_end, start + d);
+    for (std::size_t i = 0; i < durations.size(); ++i) {
+        evs.emplace_back(submit, start, start + durations[i],
+                         pending_stats_[i].name);
+        group_end = std::max(group_end, start + durations[i]);
     }
     non_kernel_ns_ += launch * static_cast<double>(durations.size());
     kernel_ns_ += group_end - start;  // wall-clock kernel region of the group
     sim_now_ns_ = group_end +
                   launch * std::max<double>(0.0,
                                             static_cast<double>(durations.size()) - 1.0);
+    if (trace_ != nullptr && !durations.empty()) {
+        // The group's wall-clock envelope sits on the main lane; each member
+        // kernel gets its own lane so exporters show the overlap (Fig. 3).
+        const double b = trace_base_ns_;
+        trace_->record({trace::span_kind::overhead, "launch", b + submit,
+                        b + start});
+        std::string label = "dataflow";
+        for (const auto& s : pending_stats_) label += ":" + s.name;
+        trace_->record({trace::span_kind::dataflow_group, label, b + start,
+                        b + group_end});
+        for (std::size_t i = 0; i < durations.size(); ++i)
+            trace_->record_kernel(pending_stats_[i], b + start,
+                                  b + start + durations[i],
+                                  static_cast<int>(i) + 1);
+        if (durations.size() > 1)
+            trace_->record({trace::span_kind::overhead, "launch drain",
+                            b + group_end, b + sim_now_ns_});
+    }
+    pending_stats_.clear();
     events_.insert(events_.end(), evs.begin(), evs.end());
     return evs;
 }
@@ -125,22 +155,40 @@ void queue::wait() {
         throw std::logic_error("queue: wait() inside a dataflow group -- call "
                                "end_dataflow() first");
     const double sync = perf::sync_overhead_ns(rt_, dev_);
+    if (trace_ != nullptr)
+        trace_->record({trace::span_kind::sync, "wait",
+                        trace_base_ns_ + sim_now_ns_,
+                        trace_base_ns_ + sim_now_ns_ + sync});
     sim_now_ns_ += sync;
     non_kernel_ns_ += sync;
 }
 
 void queue::annotate_overhead_ns(double ns) {
+    if (trace_ != nullptr)
+        trace_->record({trace::span_kind::overhead, "overhead",
+                        trace_base_ns_ + sim_now_ns_,
+                        trace_base_ns_ + sim_now_ns_ + ns});
+    events_.emplace_back(sim_now_ns_, sim_now_ns_, sim_now_ns_ + ns);
     sim_now_ns_ += ns;
     non_kernel_ns_ += ns;
 }
 
 void queue::annotate_transfer(double bytes) {
     const double t = perf::transfer_ns(rt_, dev_, bytes);
+    if (trace_ != nullptr) {
+        trace::span s{trace::span_kind::transfer, "transfer",
+                      trace_base_ns_ + sim_now_ns_,
+                      trace_base_ns_ + sim_now_ns_ + t};
+        s.counters.bytes = bytes;
+        trace_->record(std::move(s));
+    }
+    events_.emplace_back(sim_now_ns_, sim_now_ns_, sim_now_ns_ + t);
     sim_now_ns_ += t;
     non_kernel_ns_ += t;
 }
 
 void queue::reset_timers() {
+    if (trace_ != nullptr) trace_base_ns_ = trace_->last_end_ns();
     sim_now_ns_ = 0.0;
     kernel_ns_ = 0.0;
     non_kernel_ns_ = 0.0;
@@ -149,6 +197,10 @@ void queue::reset_timers() {
 
 void queue::charge_setup() {
     const double t = perf::setup_overhead_ns(rt_, dev_);
+    if (trace_ != nullptr)
+        trace_->record({trace::span_kind::setup, "setup",
+                        trace_base_ns_ + sim_now_ns_,
+                        trace_base_ns_ + sim_now_ns_ + t});
     sim_now_ns_ += t;
     non_kernel_ns_ += t;
 }

@@ -18,15 +18,28 @@
 #include "perf/device.hpp"
 #include "perf/overhead.hpp"
 #include "sycl/handler.hpp"
+#include "trace/session.hpp"
 
 namespace syclite {
 
-/// Completed-command handle with simulated profiling timestamps.
+namespace trace = altis::trace;
+
+/// Completed-command handle with simulated profiling timestamps. Kernel
+/// events carry the kernel's descriptor name; transfer/overhead events carry
+/// the empty string -- queue::events() is a self-describing command log even
+/// without a trace session attached.
 class event {
 public:
     event() = default;
-    event(double submit_ns, double start_ns, double end_ns)
-        : submit_ns_(submit_ns), start_ns_(start_ns), end_ns_(end_ns) {}
+    event(double submit_ns, double start_ns, double end_ns,
+          std::string name = {})
+        : name_(std::move(name)),
+          submit_ns_(submit_ns),
+          start_ns_(start_ns),
+          end_ns_(end_ns) {}
+
+    /// Kernel name from perf::kernel_stats; empty for transfers/overhead.
+    [[nodiscard]] const std::string& name() const { return name_; }
 
     /// Analogue of info::event_profiling::command_submit/start/end.
     [[nodiscard]] double profiling_submit_ns() const { return submit_ns_; }
@@ -37,6 +50,7 @@ public:
     void wait() const {}  // execution is synchronous; provided for API shape
 
 private:
+    std::string name_;
     double submit_ns_ = 0.0;
     double start_ns_ = 0.0;
     double end_ns_ = 0.0;
@@ -109,12 +123,25 @@ public:
 
     [[nodiscard]] const std::vector<event>& events() const { return events_; }
 
+    /// Tracing. The constructor adopts trace::session::current(), so a
+    /// session activated around queue construction observes every command;
+    /// set_trace() overrides (nullptr detaches). Spans land on the simulated
+    /// clock as commands complete.
+    void set_trace(trace::session* s) { trace_ = s; }
+    [[nodiscard]] trace::session* trace() const { return trace_; }
+
 private:
     event finish_submit(handler&& h);
-    event record(double duration_ns);
+    event record(const perf::kernel_stats& stats, double duration_ns);
 
     const perf::device_spec& dev_;
     perf::runtime_kind rt_;
+    trace::session* trace_ = nullptr;
+    /// Session-timeline offset for emitted spans: each queue's simulated
+    /// clock starts at 0, but a session may outlive many queues (altis_run
+    /// over several apps), so spans are shifted to append after whatever the
+    /// session already holds. Queue-local timers/events are unaffected.
+    double trace_base_ns_ = 0.0;
     double design_fmax_mhz_ = 0.0;  ///< 0: estimate per kernel
 
     double sim_now_ns_ = 0.0;

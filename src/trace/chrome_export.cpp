@@ -1,0 +1,101 @@
+#include "trace/chrome_export.hpp"
+
+#include <ostream>
+#include <set>
+
+namespace altis::trace {
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out << "\\\""; break;
+            case '\\': out << "\\\\"; break;
+            case '\n': out << "\\n"; break;
+            case '\t': out << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+                } else {
+                    out << c;
+                }
+        }
+    }
+    out << '"';
+}
+
+// Track ids: region spans get tid 0 (they envelop everything), the main
+// sequential lane tid 1, dataflow lanes tid 2... Perfetto sorts by tid, so
+// the containment hierarchy reads top-down.
+int tid_for(const span& s) {
+    if (s.kind == span_kind::region) return 0;
+    return s.track + 1;
+}
+
+void write_event(std::ostream& out, const span& s) {
+    out << "    {\"name\": ";
+    write_escaped(out, s.name.empty() ? to_string(s.kind) : s.name);
+    out << ", \"cat\": ";
+    write_escaped(out, to_string(s.kind));
+    // ts/dur are microseconds; simulated nanoseconds survive as fractions.
+    out << ", \"ph\": \"X\", \"ts\": " << s.start_ns / 1e3
+        << ", \"dur\": " << s.duration_ns() / 1e3
+        << ", \"pid\": 1, \"tid\": " << tid_for(s);
+    out << ", \"args\": {\"kind\": ";
+    write_escaped(out, to_string(s.kind));
+    if (s.kind == span_kind::kernel) {
+        const span_counters& c = s.counters;
+        out << ", \"invocations\": " << c.invocations
+            << ", \"modeled_flops\": " << c.flops
+            << ", \"modeled_bytes\": " << c.bytes
+            << ", \"occupancy\": " << c.occupancy
+            << ", \"divergence\": " << c.divergence
+            << ", \"initiation_interval\": " << c.initiation_interval;
+        if (s.duration_ns() > 0.0)
+            out << ", \"modeled_gbs\": " << c.bytes / s.duration_ns()
+                << ", \"modeled_gflops\": " << c.flops / s.duration_ns();
+    }
+    out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_json(const session& s, std::ostream& out) {
+    out << "{\n  \"displayTimeUnit\": \"ns\",\n";
+    out << "  \"otherData\": {\"session\": ";
+    write_escaped(out, s.name());
+    if (s.device() != nullptr) {
+        out << ", \"device\": ";
+        write_escaped(out, s.device()->name);
+    }
+    out << "},\n  \"traceEvents\": [\n";
+
+    bool first = true;
+    // Name the tracks so the viewer labels lanes instead of showing bare
+    // tids: metadata events are zero-cost and optional for parsers.
+    std::set<int> tids;
+    for (const auto& sp : s.spans()) tids.insert(tid_for(sp));
+    for (int tid : tids) {
+        if (!first) out << ",\n";
+        first = false;
+        const std::string label = tid == 0   ? "regions"
+                                  : tid == 1 ? "timeline"
+                                             : "dataflow lane " +
+                                                   std::to_string(tid - 1);
+        out << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            << tid << ", \"args\": {\"name\": ";
+        write_escaped(out, label);
+        out << "}}";
+    }
+    for (const auto& sp : s.spans()) {
+        if (!first) out << ",\n";
+        first = false;
+        write_event(out, sp);
+    }
+    out << "\n  ]\n}\n";
+}
+
+}  // namespace altis::trace

@@ -1,0 +1,17 @@
+// Chrome trace-event exporter: serializes a session as the JSON object
+// format understood by Perfetto / chrome://tracing / speedscope. Spans
+// become complete ("ph":"X") duration events; timestamps are microseconds
+// with nanosecond precision preserved as fractions. Dataflow kernels land on
+// their own tracks (tid = lane + 1) so the Fig. 3 overlap is visible as
+// parallel bars; everything sequential shares the main track.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/session.hpp"
+
+namespace altis::trace {
+
+void write_chrome_json(const session& s, std::ostream& out);
+
+}  // namespace altis::trace

@@ -1,0 +1,35 @@
+#include "trace/harness.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace altis::trace {
+
+cli_harness::cli_harness(std::string name) : session_(std::move(name)) {
+    add_trace_options(opts_);
+}
+
+int cli_harness::parse(int argc, char** argv) {
+    try {
+        if (!opts_.parse(argc, argv, std::cout)) return 0;  // --help
+    } catch (const OptionError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+    topts_ = options::from(opts_);
+    // Only install the session when asked to: an inactive bench collects no
+    // spans and behaves exactly as before the trace layer existed.
+    if (topts_.enabled()) scope_.emplace(session_);
+    return -1;
+}
+
+int cli_harness::finish() {
+    if (!topts_.enabled()) return 0;
+    scope_.reset();
+    return finish_session(session_, topts_, session_.last_end_ns(), std::cout,
+                          std::cerr)
+               ? 0
+               : 2;
+}
+
+}  // namespace altis::trace

@@ -1,0 +1,43 @@
+// One-stop CLI harness for binaries whose only options are the trace ones
+// (the bench fig*/table* regenerators): owns the OptionParser, the session
+// and its activation, so a bench main() is three lines of wiring:
+//
+//   altis::trace::cli_harness h("fig3_kmeans_pipes");
+//   if (int rc = h.parse(argc, argv); rc >= 0) return rc;
+//   ... existing body (simulate_region / queues pick the session up) ...
+//   return h.finish();
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/option_parser.hpp"
+#include "trace/options.hpp"
+#include "trace/session.hpp"
+
+namespace altis::trace {
+
+class cli_harness {
+public:
+    explicit cli_harness(std::string name);
+
+    /// Parses argv (handling --help and unknown options). Returns a process
+    /// exit code when main should return immediately, -1 to continue. When
+    /// tracing is requested, the session becomes current here.
+    [[nodiscard]] int parse(int argc, char** argv);
+
+    /// Exports trace/profile artifacts if requested. Returns the process
+    /// exit code (0, or 2 when an artifact could not be written).
+    [[nodiscard]] int finish();
+
+    [[nodiscard]] OptionParser& parser() { return opts_; }
+    [[nodiscard]] session& trace_session() { return session_; }
+
+private:
+    OptionParser opts_;
+    trace::options topts_;
+    session session_;
+    std::optional<session::scope> scope_;
+};
+
+}  // namespace altis::trace

@@ -1,0 +1,36 @@
+// Shared CLI/env wiring for the trace subsystem: every harness binary
+// (altis_run, the fig*/table* bench regenerators) registers the same two
+// options and calls the same teardown, so tracing behaves identically
+// everywhere:
+//
+//   --trace <file>   write a Chrome trace-event JSON (Perfetto-loadable);
+//                    defaults to $ALTIS_TRACE when the env var is set
+//   --profile        print the per-kernel aggregate profile table after the
+//                    run; with --trace, also writes <file>.profile.json
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/option_parser.hpp"
+#include "trace/session.hpp"
+
+namespace altis::trace {
+
+void add_trace_options(OptionParser& opts);
+
+struct options {
+    std::string trace_path;  ///< empty: no trace file
+    bool profile = false;
+
+    [[nodiscard]] bool enabled() const { return !trace_path.empty() || profile; }
+    [[nodiscard]] static options from(const OptionParser& opts);
+};
+
+/// Close any still-open regions at `end_ns`, write the trace file and/or the
+/// profile per `opt`. Returns false (after a message on `err`) when a file
+/// could not be written.
+bool finish_session(session& s, const options& opt, double end_ns,
+                    std::ostream& out, std::ostream& err);
+
+}  // namespace altis::trace

@@ -1,0 +1,61 @@
+// Per-kernel aggregate profile derived from a trace session: invocation
+// counts, total/mean simulated time, share of kernel time, modeled bandwidth
+// and compute throughput, and a compute- vs bandwidth-bound classification
+// against the bound device's Table-2 peaks. This is the reproduction's
+// stand-in for `nsys stats` / VTune's summary view and what later perf PRs
+// regress against.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/session.hpp"
+
+namespace altis::trace {
+
+/// What limits a kernel relative to the device's sustained peaks.
+enum class bound_by {
+    compute,    ///< modeled GFLOP/s closer to the compute wall
+    bandwidth,  ///< modeled GB/s closer to the memory wall
+    latency,    ///< far from both walls: launch/pipeline floors dominate
+    unknown,    ///< no device bound to the session
+};
+
+[[nodiscard]] const char* to_string(bound_by b);
+
+struct kernel_profile {
+    std::string name;
+    double invocations = 0.0;
+    double total_ns = 0.0;
+    double mean_ns = 0.0;        ///< total_ns / invocations
+    double pct_of_kernel = 0.0;  ///< share of summed kernel-span time, 0..1
+    double gbs = 0.0;            ///< modeled bytes / total span time
+    double gflops = 0.0;         ///< modeled FLOPs / total span time
+    double compute_utilization = 0.0;  ///< gflops vs sustained peak, 0..1+
+    double memory_utilization = 0.0;   ///< gbs vs sustained peak, 0..1+
+    bound_by bound = bound_by::unknown;
+    bool in_dataflow = false;  ///< ran on a dataflow lane (overlapped)
+};
+
+struct profile_report {
+    std::string session_name;
+    std::string device;       ///< empty when no device was bound
+    double peak_gflops = 0.0; ///< sustained compute wall used for bounds
+    double peak_gbs = 0.0;    ///< sustained bandwidth wall used for bounds
+    std::vector<kernel_profile> kernels;  ///< sorted by total_ns descending
+    double kernel_ns = 0.0;      ///< as session::kernel_ns()
+    double non_kernel_ns = 0.0;  ///< as session::non_kernel_ns()
+    /// Sum over kernels[i].total_ns: equals kernel_ns when no dataflow
+    /// groups overlap kernels, exceeds it when they do.
+    double kernel_span_ns = 0.0;
+};
+
+[[nodiscard]] profile_report build_profile(const session& s);
+
+/// Console table via altis::Table.
+void render_profile(const profile_report& p, std::ostream& out);
+/// Machine-readable JSON (same schema as the table, plus totals).
+void write_profile_json(const profile_report& p, std::ostream& out);
+
+}  // namespace altis::trace

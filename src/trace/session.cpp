@@ -1,0 +1,98 @@
+#include "trace/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace altis::trace {
+
+namespace {
+session* g_current = nullptr;
+}  // namespace
+
+const char* to_string(span_kind k) {
+    switch (k) {
+        case span_kind::kernel: return "kernel";
+        case span_kind::transfer: return "transfer";
+        case span_kind::overhead: return "overhead";
+        case span_kind::setup: return "setup";
+        case span_kind::sync: return "sync";
+        case span_kind::dataflow_group: return "dataflow_group";
+        case span_kind::region: return "region";
+    }
+    return "?";
+}
+
+session::session(std::string name) : name_(std::move(name)) {}
+
+void session::record(span s) { spans_.push_back(std::move(s)); }
+
+void session::record_kernel(const perf::kernel_stats& k, double start_ns,
+                            double end_ns, int track, double invocations) {
+    span s;
+    s.kind = span_kind::kernel;
+    s.name = k.name.empty() ? "<unnamed kernel>" : k.name;
+    s.start_ns = start_ns;
+    s.end_ns = end_ns;
+    s.track = track;
+    s.counters.flops = (k.total_fp32() + k.total_fp64() + k.total_sfu()) *
+                       invocations;
+    s.counters.bytes = k.total_bytes() * invocations;
+    s.counters.occupancy = k.occupancy;
+    s.counters.divergence = k.divergence;
+    for (const auto& loop : k.loops)
+        s.counters.initiation_interval =
+            std::max(s.counters.initiation_interval, loop.initiation_interval);
+    s.counters.invocations = invocations;
+    spans_.push_back(std::move(s));
+}
+
+void session::begin_region(std::string name, double start_ns) {
+    region_stack_.push_back({std::move(name), start_ns});
+}
+
+void session::end_region(double end_ns) {
+    if (region_stack_.empty())
+        throw std::logic_error("trace::session: end_region without a "
+                               "matching begin_region");
+    open_region r = std::move(region_stack_.back());
+    region_stack_.pop_back();
+    span s;
+    s.kind = span_kind::region;
+    s.name = std::move(r.name);
+    s.start_ns = r.start_ns;
+    s.end_ns = end_ns;
+    spans_.push_back(std::move(s));
+}
+
+double session::kernel_ns() const {
+    double total = 0.0;
+    for (const auto& s : spans_) {
+        if (s.kind == span_kind::kernel && s.track == 0)
+            total += s.duration_ns();
+        else if (s.kind == span_kind::dataflow_group)
+            total += s.duration_ns();
+    }
+    return total;
+}
+
+double session::non_kernel_ns() const {
+    double total = 0.0;
+    for (const auto& s : spans_)
+        if (s.kind == span_kind::transfer || s.kind == span_kind::overhead ||
+            s.kind == span_kind::setup || s.kind == span_kind::sync)
+            total += s.duration_ns();
+    return total;
+}
+
+double session::last_end_ns() const {
+    double last = 0.0;
+    for (const auto& s : spans_) last = std::max(last, s.end_ns);
+    return last;
+}
+
+session* session::current() { return g_current; }
+
+void session::set_current(session* s) { g_current = s; }
+
+}  // namespace altis::trace

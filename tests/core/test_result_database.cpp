@@ -5,6 +5,8 @@
 #include <cfloat>
 #include <sstream>
 
+#include "support/mini_json.hpp"
+
 namespace altis {
 namespace {
 
@@ -92,6 +94,34 @@ TEST(ResultDatabase, JsonDumpIsWellFormedAndEscaped) {
     EXPECT_NE(s.find("\"mean\": 2"), std::string::npos);
     EXPECT_EQ(s.front(), '[');
     EXPECT_EQ(s[s.size() - 2], ']');
+}
+
+TEST(ResultDatabase, JsonRoundTripsEscapesInAtts) {
+    // Attribute strings carry free-form text (device names, size presets,
+    // file paths); quotes, backslashes and whitespace controls in them must
+    // come back unchanged through a strict JSON parser, and failure
+    // sentinels must encode as JSON null, not FLT_MAX.
+    ResultDatabase db;
+    const std::string atts = "path=C:\\altis\\\"run 1\"\tsize=2\nline";
+    db.add_result("back\\slash", atts, "ms", 1.5);
+    db.add_failure("back\\slash", atts, "ms");
+    std::ostringstream os;
+    db.dump_json(os);
+
+    const mini_json::value doc = mini_json::parse(os.str());
+    ASSERT_EQ(doc.as_array().size(), 1u);
+    const mini_json::value& r = doc.as_array()[0];
+    EXPECT_EQ(r.at("test").as_string(), "back\\slash");
+    EXPECT_EQ(r.at("atts").as_string(), atts);
+    EXPECT_EQ(r.at("unit").as_string(), "ms");
+    const auto& values = r.at("values").as_array();
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[0].as_number(), 1.5);
+    EXPECT_TRUE(values[1].is_null());
+    // The raw text must not leak an unescaped backslash sequence: every
+    // backslash in the source strings appears doubled.
+    EXPECT_NE(os.str().find("back\\\\slash"), std::string::npos);
+    EXPECT_EQ(os.str().find("C:\\altis\\\""), std::string::npos);
 }
 
 TEST(ResultDatabase, JsonEmptyDatabase) {

@@ -1,0 +1,186 @@
+// Minimal strict JSON parser for round-trip tests: everything the suite's
+// exporters emit (objects, arrays, strings with escapes, numbers, bools,
+// null) and nothing more. Throws std::runtime_error on malformed input, so a
+// test that parses an exporter's output locks down its well-formedness.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mini_json {
+
+struct value;
+using array = std::vector<value>;
+using object = std::map<std::string, value>;
+
+struct value {
+    std::variant<std::nullptr_t, bool, double, std::string, array, object> v =
+        nullptr;
+
+    [[nodiscard]] bool is_null() const {
+        return std::holds_alternative<std::nullptr_t>(v);
+    }
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(v); }
+    [[nodiscard]] double as_number() const { return std::get<double>(v); }
+    [[nodiscard]] const std::string& as_string() const {
+        return std::get<std::string>(v);
+    }
+    [[nodiscard]] const array& as_array() const { return std::get<array>(v); }
+    [[nodiscard]] const object& as_object() const {
+        return std::get<object>(v);
+    }
+    [[nodiscard]] bool has(const std::string& key) const {
+        return as_object().count(key) > 0;
+    }
+    [[nodiscard]] const value& at(const std::string& key) const {
+        auto it = as_object().find(key);
+        if (it == as_object().end())
+            throw std::runtime_error("mini_json: missing key " + key);
+        return it->second;
+    }
+};
+
+namespace detail {
+
+inline void skip_ws(const std::string& s, std::size_t& i) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+inline value parse_value(const std::string& s, std::size_t& i);
+
+inline std::string parse_string(const std::string& s, std::size_t& i) {
+    if (s.at(i) != '"') throw std::runtime_error("mini_json: expected string");
+    ++i;
+    std::string out;
+    while (true) {
+        if (i >= s.size()) throw std::runtime_error("mini_json: unterminated string");
+        const char c = s[i++];
+        if (c == '"') return out;
+        if (c == '\\') {
+            if (i >= s.size()) throw std::runtime_error("mini_json: bad escape");
+            const char e = s[i++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (i + 4 > s.size())
+                        throw std::runtime_error("mini_json: bad \\u escape");
+                    const int code =
+                        static_cast<int>(std::strtol(s.substr(i, 4).c_str(),
+                                                     nullptr, 16));
+                    i += 4;
+                    // Exporters only emit control-range escapes; keep ASCII.
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default:
+                    throw std::runtime_error("mini_json: unknown escape");
+            }
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            throw std::runtime_error("mini_json: raw control char in string");
+        } else {
+            out += c;
+        }
+    }
+}
+
+inline value parse_value(const std::string& s, std::size_t& i) {
+    skip_ws(s, i);
+    if (i >= s.size()) throw std::runtime_error("mini_json: unexpected end");
+    const char c = s[i];
+    if (c == '{') {
+        ++i;
+        object o;
+        skip_ws(s, i);
+        if (i < s.size() && s[i] == '}') {
+            ++i;
+            return value{o};
+        }
+        while (true) {
+            skip_ws(s, i);
+            std::string key = parse_string(s, i);
+            skip_ws(s, i);
+            if (i >= s.size() || s[i] != ':')
+                throw std::runtime_error("mini_json: expected ':'");
+            ++i;
+            o.emplace(std::move(key), parse_value(s, i));
+            skip_ws(s, i);
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < s.size() && s[i] == '}') {
+                ++i;
+                return value{std::move(o)};
+            }
+            throw std::runtime_error("mini_json: expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++i;
+        array a;
+        skip_ws(s, i);
+        if (i < s.size() && s[i] == ']') {
+            ++i;
+            return value{a};
+        }
+        while (true) {
+            a.push_back(parse_value(s, i));
+            skip_ws(s, i);
+            if (i < s.size() && s[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < s.size() && s[i] == ']') {
+                ++i;
+                return value{std::move(a)};
+            }
+            throw std::runtime_error("mini_json: expected ',' or ']'");
+        }
+    }
+    if (c == '"') return value{parse_string(s, i)};
+    if (s.compare(i, 4, "true") == 0) {
+        i += 4;
+        return value{true};
+    }
+    if (s.compare(i, 5, "false") == 0) {
+        i += 5;
+        return value{false};
+    }
+    if (s.compare(i, 4, "null") == 0) {
+        i += 4;
+        return value{nullptr};
+    }
+    char* end = nullptr;
+    const double num = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i)
+        throw std::runtime_error(std::string("mini_json: unexpected '") + c +
+                                 "'");
+    i = static_cast<std::size_t>(end - s.c_str());
+    return value{num};
+}
+
+}  // namespace detail
+
+/// Parses `text` as one JSON document; throws on malformed or trailing junk.
+inline value parse(const std::string& text) {
+    std::size_t i = 0;
+    value v = detail::parse_value(text, i);
+    detail::skip_ws(text, i);
+    if (i != text.size())
+        throw std::runtime_error("mini_json: trailing characters");
+    return v;
+}
+
+}  // namespace mini_json
