@@ -3,6 +3,11 @@
 // Optimized (Sec. 3.3 techniques) panels, across input sizes 1-3, plus the
 // geometric means. FDTD2D's baseline compares against the *mistimed*
 // original CUDA (missing cudaDeviceSynchronize), as in the paper.
+//
+// The sweep is resilient: under an --inject fault plan each cell (which
+// simulates both the CUDA reference and the SYCL variant) is retried per
+// policy; degraded cells print as FAILED and are logged in the outcome
+// section while the rest of the figure still regenerates.
 #include <cmath>
 #include <iostream>
 
@@ -10,6 +15,7 @@
 #include "apps/common/suite.hpp"
 #include "core/report.hpp"
 #include "core/result_database.hpp"
+#include "fault/retry.hpp"
 #include "trace/harness.hpp"
 
 namespace {
@@ -19,6 +25,7 @@ using altis::Variant;
 namespace bench = altis::bench;
 namespace apps = altis::apps;
 namespace perf = altis::perf;
+namespace fault = altis::fault;
 
 double speedup(const bench::SuiteEntry& e, Variant sycl_variant, int size) {
     const perf::device_spec& rtx = perf::device_by_name("rtx_2080");
@@ -42,7 +49,9 @@ double speedup(const bench::SuiteEntry& e, Variant sycl_variant, int size) {
 }
 
 void panel(const char* title, Variant v,
-           const std::array<double, 3> bench::SuiteEntry::* paper) {
+           const std::array<double, 3> bench::SuiteEntry::* paper,
+           const fault::retry_policy& policy, bool fail_fast, bool injecting,
+           altis::ResultDatabase& outcomes) {
     std::cout << "== " << title << " ==\n";
     Table t({"Application", "Size 1", "Size 2", "Size 3", "Paper S1",
              "Paper S2", "Paper S3"});
@@ -51,7 +60,16 @@ void panel(const char* title, Variant v,
         if (!e.in_fig2) continue;
         std::vector<std::string> row{e.label};
         for (int size : {1, 2, 3}) {
-            const double s = speedup(e, v, size);
+            double s = 0.0;
+            const fault::outcome oc = fault::run_guarded(
+                [&] { s = speedup(e, v, size); }, policy, fail_fast);
+            if (injecting || !oc.succeeded() || oc.retried())
+                fault::record_outcome(
+                    outcomes, bench::config_label(e, v, "rtx_2080", size), oc);
+            if (!oc.succeeded()) {
+                row.push_back("FAILED");
+                continue;
+            }
             db.add_result("speedup_size" + std::to_string(size), e.label, "x", s);
             row.push_back(Table::num(s, 2));
         }
@@ -73,12 +91,26 @@ int main(int argc, char** argv) {
     altis::trace::cli_harness trace_harness("fig2_gpu_speedup");
     if (const int rc = trace_harness.parse(argc, argv); rc >= 0) return rc;
 
+    const auto& policy = trace_harness.retry_policy();
+    const bool fail_fast = trace_harness.fail_fast();
+    const bool injecting = trace_harness.fault_options().enabled();
+
     std::cout << "Figure 2: Speedup of Altis-SYCL over Altis (CUDA) on the "
                  "RTX 2080\n\n";
-    panel("Baseline (DPCT migration, functionally correct)", Variant::sycl_base,
-          &bench::SuiteEntry::paper_fig2_baseline);
-    std::cout << "paper geomean reference: optimized 1.0 / 1.1 / 1.3\n\n";
-    panel("Optimized (Sec. 3.3)", Variant::sycl_opt,
-          &bench::SuiteEntry::paper_fig2_optimized);
-    return trace_harness.finish();
+    altis::ResultDatabase outcomes;
+    try {
+        panel("Baseline (DPCT migration, functionally correct)",
+              Variant::sycl_base, &bench::SuiteEntry::paper_fig2_baseline,
+              policy, fail_fast, injecting, outcomes);
+        std::cout << "paper geomean reference: optimized 1.0 / 1.1 / 1.3\n\n";
+        panel("Optimized (Sec. 3.3)", Variant::sycl_opt,
+              &bench::SuiteEntry::paper_fig2_optimized, policy, fail_fast,
+              injecting, outcomes);
+    } catch (const std::exception& e) {
+        std::cerr << "aborting (--fail-fast): " << e.what() << "\n";
+        return 1;
+    }
+    altis::print_outcomes(outcomes, std::cout);
+    if (const int rc = trace_harness.finish(); rc != 0) return rc;
+    return outcomes.all_outcomes_ok() ? 0 : 1;
 }

@@ -6,12 +6,17 @@
 //   ./examples/altis_run kmeans --device stratix_10 --variant fpga_opt
 //   ./examples/altis_run all --size 1 --device rtx_2080 --passes 3 --csv
 //   ./examples/altis_run kmeans --trace out.json --profile
+//   ./examples/altis_run all --inject 'alloc@2;seed=7'   # fault drill
+#include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "apps/common/app.hpp"
 #include "core/option_parser.hpp"
 #include "core/registry.hpp"
 #include "core/result_database.hpp"
+#include "fault/inject.hpp"
+#include "fault/options.hpp"
 #include "trace/options.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +30,7 @@ int main(int argc, char** argv) {
     opts.add_flag("json", "dump results as JSON");
     opts.add_flag("list", "list registered applications and exit");
     trace::add_trace_options(opts);
+    fault::add_fault_options(opts);
 
     try {
         if (!opts.parse(argc, argv, std::cout)) return 0;
@@ -32,6 +38,17 @@ int main(int argc, char** argv) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
+
+    const fault::options fopts = fault::options::from(opts);
+    fault::plan fplan;
+    try {
+        fplan = fopts.make_plan();
+    } catch (const fault::spec_error& e) {
+        std::cerr << "error: bad --inject spec: " << e.what() << "\n";
+        return 2;
+    }
+    std::optional<fault::scope> fscope;
+    if (fopts.enabled()) fscope.emplace(fplan);
 
     apps::register_all_apps();
     auto& registry = Registry::instance();
@@ -81,6 +98,9 @@ int main(int argc, char** argv) {
     trace::session tsession("altis_run");
     trace::session::scope tscope(tsession);
 
+    // Outcomes are recorded only when they carry information (injection
+    // active, or an app actually failed/retried); a clean un-injected run
+    // keeps the historical report byte-for-byte.
     ResultDatabase db;
     int failures = 0;
     for (const auto& name : targets) {
@@ -90,6 +110,9 @@ int main(int argc, char** argv) {
                       << "' (try --list)\n";
             return 2;
         }
+        const std::string label = name + "/" + to_string(cfg.variant) + "/" +
+                                  cfg.device + "/size" +
+                                  std::to_string(cfg.size);
         const bool supported =
             std::find(app->variants.begin(), app->variants.end(),
                       cfg.variant) != app->variants.end() &&
@@ -97,19 +120,53 @@ int main(int argc, char** argv) {
                                   perf::device_by_name(cfg.device));
         if (!supported) {
             std::cout << name << ": skipped (variant/device unsupported)\n";
+            if (fopts.enabled()) {
+                fault::outcome oc;
+                oc.st = fault::outcome::status::skipped;
+                oc.error = "variant/device unsupported";
+                fault::record_outcome(db, label, oc);
+            }
             continue;
         }
-        tsession.begin_region(name + "/" + to_string(cfg.variant) + "/size" +
-                                  std::to_string(cfg.size),
-                              tsession.last_end_ns());
+        tsession.begin_region(label, tsession.last_end_ns());
+        // Each attempt runs into its own database so a failed partial pass
+        // never leaks half a trial's metrics into the report; only the
+        // successful attempt is merged.
+        ResultDatabase attempt_db;
+        fault::outcome oc;
         try {
-            app->run(cfg, db);
-            std::cout << name << ": ok (" << cfg.passes << " passes, verified)\n";
+            oc = fault::run_guarded(
+                [&] {
+                    attempt_db.clear();
+                    app->run(cfg, attempt_db);
+                },
+                fopts.policy, fopts.fail_fast,
+                [&](int attempt, const std::string& error, double backoff_ms) {
+                    std::cout << name << ": attempt " << attempt << " failed ("
+                              << error << "), retrying after " << backoff_ms
+                              << " ms\n";
+                });
         } catch (const std::exception& e) {
-            std::cout << name << ": FAILED -- " << e.what() << "\n";
-            ++failures;
+            tsession.end_region(tsession.last_end_ns());
+            std::cerr << name << ": FAILED -- " << e.what()
+                      << "\naborting (--fail-fast)\n";
+            return 1;
         }
         tsession.end_region(tsession.last_end_ns());
+
+        if (oc.succeeded()) {
+            db.merge(attempt_db);
+            std::cout << name << ": ok (" << cfg.passes << " passes, verified";
+            if (oc.retried())
+                std::cout << ", " << oc.attempts << " attempts, "
+                          << oc.backoff_ms << " ms backoff";
+            std::cout << ")\n";
+        } else {
+            std::cout << name << ": FAILED -- " << oc.error << "\n";
+            ++failures;
+        }
+        if (fopts.enabled() || !oc.succeeded() || oc.retried())
+            fault::record_outcome(db, label, oc);
     }
 
     std::cout << '\n';

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "fault/inject.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
+#include "sycl/error.hpp"
 
 namespace altis::apps {
 
@@ -33,6 +35,7 @@ timing_estimate simulate_region(const timed_region& region,
                                 const perf::device_spec& dev,
                                 perf::runtime_kind rt,
                                 trace::session* trace) {
+    namespace fault = altis::fault;
     timing_estimate t;
 
     double design_fmax = 0.0;
@@ -62,75 +65,118 @@ timing_estimate simulate_region(const timed_region& region,
         if (trace != nullptr) trace->record(std::move(s));
     };
 
-    if (region.include_setup) {
-        const double setup = perf::setup_overhead_ns(rt, dev);
-        t.non_kernel_ns += setup;
-        emit({trace::span_kind::setup, "setup", cursor, cursor + setup});
-        cursor += setup;
-    }
+    // The analytic path has no real queue/buffers/pipes, so the fault plan's
+    // checkpoints live here instead: the same op kinds fire at the
+    // equivalent spots of the simulated schedule (device at region entry,
+    // alloc per region, launch per kernel slot, pipe stalls against dataflow
+    // kernel names, transfer at the PCIe charge), and a firing checkpoint
+    // throws out of the simulation just as the functional runtime would.
+    // The failure is recorded as a zero-length failed span and the region
+    // span is closed before rethrowing, so a faulted config still leaves a
+    // well-formed trace.
+    try {
+        fault::maybe_inject(fault::op_kind::device, dev.name);
+        fault::maybe_inject(fault::op_kind::alloc, region.name,
+                            "region working set");
 
-    for (const auto& slot : region.kernels) {
-        const double per = one_kernel_ns(slot.stats);
-        t.kernel_ns += per * slot.count;
-        t.non_kernel_ns += launch * slot.count;
-        emit({trace::span_kind::overhead, "launch", cursor,
-              cursor + launch * slot.count});
-        cursor += launch * slot.count;
-        if (trace != nullptr)
-            trace->record_kernel(slot.stats, cursor, cursor + per * slot.count,
-                                 0, slot.count);
-        cursor += per * slot.count;
-    }
-    for (const auto& group : region.dataflow) {
-        double worst = 0.0;
-        for (const auto& k : group.kernels)
-            worst = std::max(worst, one_kernel_ns(k));
-        t.kernel_ns += worst * group.count;
-        const double group_launch =
-            launch * group.count * static_cast<double>(group.kernels.size());
-        t.non_kernel_ns += group_launch;
-        emit({trace::span_kind::overhead, "launch", cursor,
-              cursor + group_launch});
-        cursor += group_launch;
-        if (trace != nullptr) {
-            std::string label = "dataflow";
-            for (const auto& k : group.kernels) label += ":" + k.name;
-            trace->record({trace::span_kind::dataflow_group, label, cursor,
-                           cursor + worst * group.count});
-            int lane = 1;
-            for (const auto& k : group.kernels)
-                trace->record_kernel(k, cursor,
-                                     cursor + one_kernel_ns(k) * group.count,
-                                     lane++, group.count);
+        if (region.include_setup) {
+            const double setup = perf::setup_overhead_ns(rt, dev);
+            t.non_kernel_ns += setup;
+            emit({trace::span_kind::setup, "setup", cursor, cursor + setup});
+            cursor += setup;
         }
-        cursor += worst * group.count;
-    }
 
-    if (region.transfer_calls > 0.0) {
-        // Amortize the payload across the calls; transfer_ns adds the fixed
-        // per-call cost itself.
-        const double per_call = region.transfer_bytes / region.transfer_calls;
-        const double total =
-            perf::transfer_ns(rt, dev, per_call) * region.transfer_calls;
-        t.non_kernel_ns += total;
-        trace::span s{trace::span_kind::transfer, "transfers", cursor,
-                      cursor + total};
-        s.counters.bytes = region.transfer_bytes;
-        s.counters.invocations = region.transfer_calls;
-        emit(std::move(s));
-        cursor += total;
-    }
-    {
-        const double sync = perf::sync_overhead_ns(rt, dev) * region.syncs;
-        t.non_kernel_ns += sync;
-        emit({trace::span_kind::sync, "sync", cursor, cursor + sync});
-        cursor += sync;
-    }
-    if (region.extra_non_kernel_ns > 0.0) {
-        t.non_kernel_ns += region.extra_non_kernel_ns;
-        emit({trace::span_kind::overhead, "library overhead", cursor,
-              cursor + region.extra_non_kernel_ns});
-        cursor += region.extra_non_kernel_ns;
+        for (const auto& slot : region.kernels) {
+            fault::maybe_inject(fault::op_kind::launch, slot.stats.name);
+            const double per = one_kernel_ns(slot.stats);
+            t.kernel_ns += per * slot.count;
+            t.non_kernel_ns += launch * slot.count;
+            emit({trace::span_kind::overhead, "launch", cursor,
+                  cursor + launch * slot.count});
+            cursor += launch * slot.count;
+            if (trace != nullptr)
+                trace->record_kernel(slot.stats, cursor,
+                                     cursor + per * slot.count, 0, slot.count);
+            cursor += per * slot.count;
+        }
+        for (const auto& group : region.dataflow) {
+            // An injected pipe stall wedges the whole group: report it the
+            // way the functional watchdog would, as a dataflow_error naming
+            // the blocked kernels.
+            std::vector<std::string> stalled;
+            for (const auto& k : group.kernels) {
+                fault::maybe_inject(fault::op_kind::launch, k.name);
+                if (fault::should_stall_pipe(k.name)) stalled.push_back(k.name);
+            }
+            if (!stalled.empty()) {
+                std::string msg =
+                    "dataflow deadlock: kernel(s) blocked on pipes "
+                    "[injected stall]:";
+                for (const auto& k : stalled) msg += " " + k;
+                throw syclite::dataflow_error(msg, std::move(stalled));
+            }
+            double worst = 0.0;
+            for (const auto& k : group.kernels)
+                worst = std::max(worst, one_kernel_ns(k));
+            t.kernel_ns += worst * group.count;
+            const double group_launch = launch * group.count *
+                                        static_cast<double>(group.kernels.size());
+            t.non_kernel_ns += group_launch;
+            emit({trace::span_kind::overhead, "launch", cursor,
+                  cursor + group_launch});
+            cursor += group_launch;
+            if (trace != nullptr) {
+                std::string label = "dataflow";
+                for (const auto& k : group.kernels) label += ":" + k.name;
+                trace->record({trace::span_kind::dataflow_group, label, cursor,
+                               cursor + worst * group.count});
+                int lane = 1;
+                for (const auto& k : group.kernels)
+                    trace->record_kernel(
+                        k, cursor, cursor + one_kernel_ns(k) * group.count,
+                        lane++, group.count);
+            }
+            cursor += worst * group.count;
+        }
+
+        if (region.transfer_calls > 0.0) {
+            fault::maybe_inject(
+                fault::op_kind::transfer, region.name,
+                std::to_string(static_cast<long long>(region.transfer_bytes)) +
+                    " bytes");
+            // Amortize the payload across the calls; transfer_ns adds the
+            // fixed per-call cost itself.
+            const double per_call = region.transfer_bytes / region.transfer_calls;
+            const double total =
+                perf::transfer_ns(rt, dev, per_call) * region.transfer_calls;
+            t.non_kernel_ns += total;
+            trace::span s{trace::span_kind::transfer, "transfers", cursor,
+                          cursor + total};
+            s.counters.bytes = region.transfer_bytes;
+            s.counters.invocations = region.transfer_calls;
+            emit(std::move(s));
+            cursor += total;
+        }
+        {
+            const double sync = perf::sync_overhead_ns(rt, dev) * region.syncs;
+            t.non_kernel_ns += sync;
+            emit({trace::span_kind::sync, "sync", cursor, cursor + sync});
+            cursor += sync;
+        }
+        if (region.extra_non_kernel_ns > 0.0) {
+            t.non_kernel_ns += region.extra_non_kernel_ns;
+            emit({trace::span_kind::overhead, "library overhead", cursor,
+                  cursor + region.extra_non_kernel_ns});
+            cursor += region.extra_non_kernel_ns;
+        }
+    } catch (const std::exception& e) {
+        if (trace != nullptr) {
+            trace::span s{trace::span_kind::overhead, e.what(), cursor, cursor};
+            s.status = trace::span_status::failed;
+            trace->record(std::move(s));
+            trace->end_region(cursor);
+        }
+        throw;
     }
 
     // An unsynchronized timed region only observes submission cost: the

@@ -321,4 +321,70 @@ std::optional<double> total_ms(const SuiteEntry& e, Variant v,
     return t.total_ms();
 }
 
+std::string config_label(const SuiteEntry& e, Variant v,
+                         const std::string& device, int size) {
+    return e.label + "/" + to_string(v) + "/" + device + "/size" +
+           std::to_string(size);
+}
+
+ConfigOutcome run_config(const SuiteEntry& e, Variant v,
+                         const std::string& device, int size,
+                         const fault::retry_policy& policy, bool fail_fast) {
+    ConfigOutcome co;
+    auto skip = [&co](std::string reason) {
+        co.skipped = true;
+        co.skip_reason = reason;
+        co.oc.st = fault::outcome::status::skipped;
+        co.oc.error = std::move(reason);
+        return co;
+    };
+
+    const perf::device_spec& dev = perf::device_by_name(device);
+    if (!apps::variant_allowed(v, dev))
+        return skip(std::string(to_string(v)) + " cannot target " + device);
+    if (e.crashes && e.crashes(dev, v, size))
+        return skip("known crash on this configuration (paper Sec. 5.4)");
+    // Build the region outside the guard: an invalid_argument here means the
+    // configuration does not exist (DWT2D fpga_opt), not that it failed.
+    apps::timed_region region;
+    try {
+        region = e.region(v, dev, size);
+    } catch (const std::invalid_argument& ex) {
+        return skip(ex.what());
+    }
+
+    const std::string label = config_label(e, v, device, size);
+    auto on_retry = [&label](int attempt, const std::string& error,
+                             double backoff_ms) {
+        trace::session* s = trace::session::current();
+        if (s == nullptr) return;
+        const double cursor = s->last_end_ns();
+        trace::span sp{trace::span_kind::overhead,
+                       "retry " + std::to_string(attempt) + ": " + label +
+                           " (backoff " + std::to_string(backoff_ms) +
+                           " ms): " + error,
+                       cursor, cursor};
+        sp.status = trace::span_status::retried;
+        s->record(std::move(sp));
+    };
+
+    co.oc = fault::run_guarded(
+        [&] {
+            const auto t =
+                apps::simulate_region(region, dev, apps::runtime_for(v));
+            co.ms = t.total_ms();
+        },
+        policy, fail_fast, on_retry);
+    if (!co.oc.succeeded()) co.ms.reset();
+    return co;
+}
+
+void record_config_outcome(ResultDatabase& db, const std::string& label,
+                           const ConfigOutcome& co, bool injection_enabled) {
+    if (!injection_enabled && (co.oc.succeeded() || co.skipped) &&
+        !co.oc.retried())
+        return;
+    fault::record_outcome(db, label, co.oc);
+}
+
 }  // namespace altis::bench

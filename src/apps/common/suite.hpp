@@ -12,6 +12,7 @@
 
 #include "apps/common/region.hpp"
 #include "core/registry.hpp"
+#include "fault/retry.hpp"
 #include "perf/device.hpp"
 
 namespace altis::bench {
@@ -58,5 +59,41 @@ struct SuiteEntry {
 [[nodiscard]] std::optional<double> total_ms(const SuiteEntry& e, Variant v,
                                              const std::string& device,
                                              int size);
+
+/// Canonical configuration label used everywhere a sweep names one cell:
+/// "<label>/<variant>/<device>/size<N>", e.g. "KMeans/fpga_opt/stratix_10/size2".
+[[nodiscard]] std::string config_label(const SuiteEntry& e, Variant v,
+                                       const std::string& device, int size);
+
+/// Result of one resilient configuration run (see run_config).
+struct ConfigOutcome {
+    /// Simulated total, present only when some attempt succeeded.
+    std::optional<double> ms;
+    /// Retry bookkeeping: status/attempts/backoff/error.
+    fault::outcome oc;
+    /// True when the configuration does not exist (variant/device mismatch,
+    /// known crash, unimplemented variant) rather than having failed.
+    bool skipped = false;
+    std::string skip_reason;
+};
+
+/// Resilient replacement for total_ms: simulates the configuration under the
+/// active fault plan, retrying retryable injected faults per `policy`.
+/// Nonexistent configurations come back skipped; failures come back with the
+/// error string instead of throwing (unless `fail_fast`). Retries emit a
+/// `retried` span into the current trace session so timelines show where the
+/// sweep degraded.
+[[nodiscard]] ConfigOutcome run_config(const SuiteEntry& e, Variant v,
+                                       const std::string& device, int size,
+                                       const fault::retry_policy& policy = {},
+                                       bool fail_fast = false);
+
+/// Records the outcome under `label` when it carries information: injection
+/// is active, or the configuration failed or needed retries. Expected skips
+/// of nonexistent configurations (the legacy "n/a"/"crash" cells) are only
+/// logged while a fault plan is active, so fault-free reports keep their
+/// historical shape.
+void record_config_outcome(ResultDatabase& db, const std::string& label,
+                           const ConfigOutcome& co, bool injection_enabled);
 
 }  // namespace altis::bench

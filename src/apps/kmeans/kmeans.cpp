@@ -209,10 +209,13 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
     if (p.d > 32)
         throw std::invalid_argument("kmeans: dataflow path supports d <= 32");
 
-    sl::pipe<mapping> map_pipe(256);
-    sl::pipe<float> center_pipe(1024);
+    sl::pipe<mapping> map_pipe(256, "kmeans_map");
+    sl::pipe<float> center_pipe(1024, "kmeans_center");
 
-    q.begin_dataflow();
+    // RAII guard: if either submission throws (an injected launch fault, an
+    // allocation failure inside a handler), the dtor aborts the half-built
+    // group so the queue is reusable instead of wedged in dataflow mode.
+    sl::dataflow_guard group(q);
     q.submit([&](sl::handler& h) {  // mapCenters
         auto pts = h.get_access(points, sl::access_mode::read);
         auto ctr = h.get_access(centers, sl::access_mode::read);
@@ -269,7 +272,7 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) ctr[x] = cur[x];
         });
     });
-    q.end_dataflow();
+    group.join();
 }
 
 }  // namespace

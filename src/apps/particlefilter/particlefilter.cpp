@@ -262,7 +262,9 @@ AppResult run_flavor(const RunConfig& cfg, flavor f) {
             // Single-Task FPGA design: the whole SIR frame in one kernel.
             q.submit([&](sl::handler& h) {
                 auto v8 = h.get_access(vid, sl::access_mode::read);
-                h.single_task(detail::stats_frame_st(p, f, dev), [&, t]() {
+                // v8 by value: the command-group scope is gone when the
+                // kernel body runs.
+                h.single_task(detail::stats_frame_st(p, f, dev), [&, v8, t]() {
                     std::span<const std::uint8_t> vspan(v8.get_pointer(),
                                                         video.size());
                     sir_frame(p, f, vspan, t, s,
@@ -278,7 +280,7 @@ AppResult run_flavor(const RunConfig& cfg, flavor f) {
             q.submit([&](sl::handler& h) {
                 auto v8 = h.get_access(vid, sl::access_mode::read);
                 h.library_call(detail::stats_propagate(p, f, cfg.variant, dev),
-                               [&, t]() {
+                               [&, v8, t]() {
                                    std::span<const std::uint8_t> vspan(
                                        v8.get_pointer(), video.size());
                                    sir_frame(p, f, vspan, t, s,

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/result_database.hpp"
+
 namespace altis {
 
 Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
@@ -69,6 +71,28 @@ void SeriesBlock::add_series(const std::string& label,
 void SeriesBlock::print(std::ostream& out) const {
     out << "== " << title_ << " ==\n";
     table_.print(out);
+    out << '\n';
+}
+
+void print_outcomes(const ResultDatabase& db, std::ostream& out) {
+    const auto& outcomes = db.outcomes();
+    if (outcomes.empty()) return;
+    std::size_t ok = 0, retried = 0, failed = 0, skipped = 0;
+    for (const auto& oc : outcomes) {
+        if (oc.status == "ok") ++ok;
+        else if (oc.status == "retried") ++retried;
+        else if (oc.status == "failed") ++failed;
+        else ++skipped;
+    }
+    out << "outcomes: " << ok << " ok, " << retried << " retried, " << failed
+        << " failed, " << skipped << " skipped\n";
+    for (const auto& oc : outcomes) {
+        if (oc.status == "ok") continue;
+        out << "  [" << oc.status << "] " << oc.config;
+        if (oc.attempts > 1) out << " (" << oc.attempts << " attempts)";
+        if (!oc.error.empty()) out << " -- " << oc.error;
+        out << '\n';
+    }
     out << '\n';
 }
 

@@ -9,6 +9,8 @@
 
 namespace altis {
 
+class ResultDatabase;
+
 /// Fixed-width console table. Columns are sized to fit contents.
 class Table {
 public:
@@ -41,5 +43,11 @@ private:
     std::string title_;
     Table table_;
 };
+
+/// Prints the per-config outcome log of a resilient sweep: a one-line tally
+/// ("N ok, N retried, N failed, N skipped") plus one row per non-ok config
+/// with its attempt count and error string. Prints nothing when the database
+/// holds no outcomes, so fault-free runs keep their historical output.
+void print_outcomes(const ResultDatabase& db, std::ostream& out);
 
 }  // namespace altis

@@ -88,6 +88,25 @@ void ResultDatabase::add_failure(const std::string& test, const std::string& att
     series(test, atts, unit).values.push_back(Result::failure_sentinel());
 }
 
+void ResultDatabase::add_outcome(RunOutcome outcome) {
+    outcomes_.push_back(std::move(outcome));
+}
+
+bool ResultDatabase::all_outcomes_ok() const {
+    for (const auto& oc : outcomes_)
+        if (oc.status == "failed") return false;
+    return true;
+}
+
+void ResultDatabase::merge(const ResultDatabase& other) {
+    for (const auto& r : other.results_) {
+        Result& mine = series(r.test, r.atts, r.unit);
+        mine.values.insert(mine.values.end(), r.values.begin(), r.values.end());
+    }
+    outcomes_.insert(outcomes_.end(), other.outcomes_.begin(),
+                     other.outcomes_.end());
+}
+
 const Result* ResultDatabase::find(const std::string& test,
                                    const std::string& atts) const {
     for (const auto& r : results_)
@@ -121,6 +140,23 @@ void ResultDatabase::dump_summary(std::ostream& out) const {
             << std::setw(12) << r.min() << std::setw(12) << r.max() << '\n';
         out.unsetf(std::ios::fixed);
     }
+    if (outcomes_.empty()) return;
+    std::size_t ok = 0, retried = 0, failed = 0, skipped = 0;
+    for (const auto& oc : outcomes_) {
+        if (oc.status == "ok") ++ok;
+        else if (oc.status == "retried") ++retried;
+        else if (oc.status == "failed") ++failed;
+        else ++skipped;
+    }
+    out << "\noutcomes: " << ok << " ok, " << retried << " retried, " << failed
+        << " failed, " << skipped << " skipped\n";
+    for (const auto& oc : outcomes_) {
+        if (oc.status == "ok") continue;
+        out << "  [" << oc.status << "] " << oc.config;
+        if (oc.attempts > 1) out << " (" << oc.attempts << " attempts)";
+        if (!oc.error.empty()) out << " -- " << oc.error;
+        out << '\n';
+    }
 }
 
 namespace {
@@ -141,11 +177,14 @@ void json_escape(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
-void ResultDatabase::dump_json(std::ostream& out) const {
+namespace {
+
+void dump_results_json(std::ostream& out, const std::vector<Result>& results,
+                       const char* indent, const char* close_indent) {
     out << "[\n";
-    for (std::size_t i = 0; i < results_.size(); ++i) {
-        const Result& r = results_[i];
-        out << "  {\"test\": ";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        out << indent << "{\"test\": ";
         json_escape(out, r.test);
         out << ", \"atts\": ";
         json_escape(out, r.atts);
@@ -161,9 +200,34 @@ void ResultDatabase::dump_json(std::ostream& out) const {
         }
         out << "], \"mean\": " << r.mean() << ", \"median\": " << r.median()
             << ", \"stddev\": " << r.stddev() << "}";
-        out << (i + 1 < results_.size() ? ",\n" : "\n");
+        out << (i + 1 < results.size() ? ",\n" : "\n");
     }
-    out << "]\n";
+    out << close_indent << "]";
+}
+
+}  // namespace
+
+void ResultDatabase::dump_json(std::ostream& out) const {
+    if (outcomes_.empty()) {
+        // Historical shape: a bare array of series.
+        dump_results_json(out, results_, "  ", "");
+        out << "\n";
+        return;
+    }
+    out << "{\n  \"results\": ";
+    dump_results_json(out, results_, "    ", "  ");
+    out << ",\n  \"outcomes\": [\n";
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        const RunOutcome& oc = outcomes_[i];
+        out << "    {\"config\": ";
+        json_escape(out, oc.config);
+        out << ", \"status\": ";
+        json_escape(out, oc.status);
+        out << ", \"attempts\": " << oc.attempts << ", \"error\": ";
+        json_escape(out, oc.error);
+        out << "}" << (i + 1 < outcomes_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
 }
 
 void ResultDatabase::dump_csv(std::ostream& out) const {

@@ -29,6 +29,18 @@ struct Result {
     static double failure_sentinel();
 };
 
+/// Per-configuration outcome from the resilient sweep harness: whether a
+/// config ran clean, needed retries, failed (with the error string), or was
+/// skipped. Failure is data, not a crash -- the sweep completes and the
+/// report says exactly which configs degraded (cf. HPCC-FPGA's per-benchmark
+/// validation).
+struct RunOutcome {
+    std::string config;  ///< e.g. "KMeans/fpga_opt/stratix_10/size2"
+    std::string status;  ///< "ok" | "retried" | "failed" | "skipped"
+    int attempts = 1;
+    std::string error;  ///< last error / skip reason; empty when ok
+};
+
 /// Accumulates results over trials; used by every benchmark harness binary.
 class ResultDatabase {
 public:
@@ -41,7 +53,19 @@ public:
     void add_failure(const std::string& test, const std::string& atts,
                      const std::string& unit);
 
+    /// Record a sweep outcome (see RunOutcome). Outcomes ride along with the
+    /// metric series through every dump format.
+    void add_outcome(RunOutcome outcome);
+
     [[nodiscard]] const std::vector<Result>& results() const { return results_; }
+    [[nodiscard]] const std::vector<RunOutcome>& outcomes() const {
+        return outcomes_;
+    }
+    /// True when no recorded outcome is "failed".
+    [[nodiscard]] bool all_outcomes_ok() const;
+
+    /// Append every series (and outcome) of `other` into this database.
+    void merge(const ResultDatabase& other);
 
     /// Find a series; returns nullptr if absent.
     [[nodiscard]] const Result* find(const std::string& test,
@@ -51,20 +75,28 @@ public:
     /// Non-positive means are skipped (they would poison the logarithm).
     [[nodiscard]] double geomean(const std::string& test) const;
 
-    /// Human-readable summary table (min/max/mean/median/stddev per series).
+    /// Human-readable summary table (min/max/mean/median/stddev per series),
+    /// followed by the outcome log when any outcomes were recorded.
     void dump_summary(std::ostream& out) const;
     /// Machine-readable CSV: test,atts,unit,trial0,trial1,...
     void dump_csv(std::ostream& out) const;
-    /// Machine-readable JSON: array of {test, atts, unit, values, mean,
-    /// median, stddev}. Strings are escaped; failed trials appear as null.
+    /// Machine-readable JSON. Without outcomes: the historical array of
+    /// {test, atts, unit, values, mean, median, stddev}. With outcomes: an
+    /// object {"results": [...], "outcomes": [...]} so degraded sweeps stay
+    /// well-formed, self-describing reports. Strings are escaped; failed
+    /// trials appear as null.
     void dump_json(std::ostream& out) const;
 
-    void clear() { results_.clear(); }
+    void clear() {
+        results_.clear();
+        outcomes_.clear();
+    }
 
 private:
     Result& series(const std::string& test, const std::string& atts,
                    const std::string& unit);
     std::vector<Result> results_;
+    std::vector<RunOutcome> outcomes_;
 };
 
 }  // namespace altis

@@ -1,0 +1,34 @@
+#include "fault/options.hpp"
+
+#include <cstdlib>
+
+namespace altis::fault {
+
+void add_fault_options(OptionParser& opts) {
+    opts.add_option("inject", "",
+                    "fault-injection spec, e.g. 'alloc@2;pipe:map*@1;seed=7' "
+                    "(default: $ALTIS_FAULT)");
+    opts.add_flag("fail-fast",
+                  "abort the sweep on the first unrecoverable failure");
+    opts.add_option("retries", "3", "max attempts per configuration");
+    opts.add_option("retry-backoff-ms", "25",
+                    "base backoff before the first retry (doubles per retry)");
+}
+
+options options::from(const OptionParser& opts) {
+    options o;
+    o.spec = opts.get_string("inject");
+    if (o.spec.empty()) {
+        if (const char* env = std::getenv("ALTIS_FAULT")) o.spec = env;
+    }
+    o.fail_fast = opts.get_flag("fail-fast");
+    o.policy.max_attempts = static_cast<int>(opts.get_int("retries"));
+    o.policy.backoff_base_ms = opts.get_double("retry-backoff-ms");
+    return o;
+}
+
+plan options::make_plan() const {
+    return spec.empty() ? plan{} : plan::parse(spec);
+}
+
+}  // namespace altis::fault

@@ -1,0 +1,58 @@
+#include "fault/retry.hpp"
+
+#include <cmath>
+
+#include "core/result_database.hpp"
+#include "fault/inject.hpp"
+
+namespace altis::fault {
+
+double retry_policy::backoff_ms(int retry) const {
+    return backoff_base_ms * std::pow(backoff_multiplier, retry);
+}
+
+const char* outcome::label() const {
+    switch (st) {
+        case status::ok: return attempts > 1 ? "retried" : "ok";
+        case status::failed: return "failed";
+        case status::skipped: return "skipped";
+    }
+    return "?";
+}
+
+outcome run_guarded(const std::function<void()>& fn, const retry_policy& policy,
+                    bool fail_fast, const retry_listener& on_retry) {
+    outcome oc;
+    const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+    for (int attempt = 1;; ++attempt) {
+        oc.attempts = attempt;
+        try {
+            fn();
+            return oc;
+        } catch (const injected_fault& f) {
+            oc.error = f.what();
+            if (!f.retryable() || attempt >= max_attempts) {
+                if (fail_fast) throw;
+                oc.st = outcome::status::failed;
+                return oc;
+            }
+            const double backoff = policy.backoff_ms(attempt - 1);
+            oc.backoff_ms += backoff;
+            if (on_retry) on_retry(attempt, oc.error, backoff);
+        } catch (const std::exception& e) {
+            // Anything that is not an injected fault is a real defect of the
+            // configuration -- retrying cannot help.
+            if (fail_fast) throw;
+            oc.st = outcome::status::failed;
+            oc.error = e.what();
+            return oc;
+        }
+    }
+}
+
+void record_outcome(ResultDatabase& db, const std::string& config,
+                    const outcome& oc) {
+    db.add_outcome({config, oc.label(), oc.attempts, oc.error});
+}
+
+}  // namespace altis::fault

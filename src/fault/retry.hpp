@@ -1,0 +1,59 @@
+// Resilient execution: bounded retry with exponential backoff for retryable
+// injected faults, and the per-configuration outcome record the sweep
+// harnesses feed into ResultDatabase. Backoff is accounted, not slept: the
+// suite runs on a simulated clock, and a deterministic backoff total keeps
+// "same seed, same report" byte-for-byte true.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace altis {
+class ResultDatabase;
+}
+
+namespace altis::fault {
+
+struct retry_policy {
+    int max_attempts = 3;           ///< total attempts including the first
+    double backoff_base_ms = 25.0;  ///< backoff before the first retry
+    double backoff_multiplier = 2.0;
+
+    /// Backoff charged before retry number `retry` (0-based).
+    [[nodiscard]] double backoff_ms(int retry) const;
+};
+
+struct outcome {
+    enum class status { ok, failed, skipped };
+
+    status st = status::ok;
+    int attempts = 1;
+    double backoff_ms = 0.0;  ///< total backoff accounted across retries
+    std::string error;        ///< what() of the last failure; empty when ok
+
+    [[nodiscard]] bool succeeded() const { return st == status::ok; }
+    [[nodiscard]] bool retried() const { return succeeded() && attempts > 1; }
+    /// "ok" | "retried" | "failed" | "skipped" -- the status string recorded
+    /// into ResultDatabase outcomes.
+    [[nodiscard]] const char* label() const;
+};
+
+/// Notification before each retry: attempt just failed (1-based), its error
+/// text, and the backoff charged before the next attempt.
+using retry_listener =
+    std::function<void(int attempt, const std::string& error, double backoff_ms)>;
+
+/// Runs `fn`, retrying retryable injected faults up to policy.max_attempts
+/// with exponential backoff. Non-retryable faults and ordinary exceptions
+/// fail immediately. With `fail_fast` the first unrecoverable failure is
+/// rethrown instead of being folded into the outcome.
+[[nodiscard]] outcome run_guarded(const std::function<void()>& fn,
+                                  const retry_policy& policy,
+                                  bool fail_fast = false,
+                                  const retry_listener& on_retry = {});
+
+/// Records the outcome under `config` into the database's outcome log.
+void record_outcome(ResultDatabase& db, const std::string& config,
+                    const outcome& oc);
+
+}  // namespace altis::fault

@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/inject.hpp"
+
 namespace syclite {
 
 enum class access_mode { read, write, read_write, discard_write };
@@ -73,19 +75,34 @@ private:
     detail::access_counter* counter_ = nullptr;
 };
 
+namespace detail {
+
+/// Injection point shared by every buffer constructor: `alloc:buffer@N`
+/// fails the Nth buffer allocation with a retryable alloc_fault.
+inline std::size_t checked_buffer_count(std::size_t count, std::size_t elem) {
+    altis::fault::maybe_inject(altis::fault::op_kind::alloc, "buffer",
+                               std::to_string(count * elem) + " bytes");
+    return count;
+}
+
+}  // namespace detail
+
 template <typename T>
 class buffer {
 public:
     /// Uninitialized device-only buffer.
-    explicit buffer(std::size_t count) : data_(count) {}
+    explicit buffer(std::size_t count)
+        : data_(detail::checked_buffer_count(count, sizeof(T))) {}
 
     /// Copy-in from host data; no write-back.
-    buffer(const T* src, std::size_t count) : data_(src, src + count) {}
+    buffer(const T* src, std::size_t count)
+        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))) {}
 
     /// Copy-in from host data; contents are written back to `src` when the
     /// buffer is destroyed (SYCL host-pointer semantics).
     buffer(T* src, std::size_t count, use_host_ptr_t)
-        : data_(src, src + count), writeback_(src) {}
+        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))),
+          writeback_(src) {}
 
     ~buffer() {
         if (writeback_ != nullptr)

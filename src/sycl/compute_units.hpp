@@ -21,7 +21,7 @@ std::vector<event> submit_compute_units(queue& q, int units,
                                         perf::kernel_stats stats, F&& f) {
     if (units < 1) throw std::invalid_argument("submit_compute_units: units >= 1");
     stats.replication = units;
-    q.begin_dataflow();
+    dataflow_guard group(q);
     for (int unit = 0; unit < units; ++unit) {
         q.submit([&](handler& h) {
             perf::kernel_stats s = stats;
@@ -29,7 +29,7 @@ std::vector<event> submit_compute_units(queue& q, int units,
             h.single_task(s, [f, unit]() { f(unit); });
         });
     }
-    return q.end_dataflow();
+    return group.join();
 }
 
 /// The custom ND-Range replication helper (Sec. 5.1): instantiates the
@@ -49,7 +49,7 @@ std::vector<event> submit_nd_range_units(queue& q, int units,
     // geometry per copy); the whole-design descriptor used for resource
     // estimation carries the real replication factor.
     stats.replication = 1;
-    q.begin_dataflow();
+    dataflow_guard group(q);
     for (int unit = 0; unit < units; ++unit) {
         const std::size_t begin =
             groups * static_cast<std::size_t>(unit) /
@@ -75,7 +75,7 @@ std::vector<event> submit_nd_range_units(queue& q, int units,
                 });
         });
     }
-    return q.end_dataflow();
+    return group.join();
 }
 
 }  // namespace syclite

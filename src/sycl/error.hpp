@@ -1,0 +1,67 @@
+// SYCL-conformant asynchronous error machinery. Real SYCL queues take an
+// async_handler receiving a sycl::exception_list; errors raised by device
+// work surface at wait()/synchronization boundaries instead of escaping from
+// worker threads. syclite mirrors that contract: without a handler the
+// first error is rethrown at the boundary (the historical behaviour), with a
+// handler the full list is delivered in submission order and the queue stays
+// usable.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace syclite {
+
+/// Analogue of sycl::exception_list: an iterable batch of exception_ptrs in
+/// the order the failing commands were submitted.
+class exception_list {
+public:
+    using value_type = std::exception_ptr;
+    using container = std::vector<value_type>;
+    using const_iterator = container::const_iterator;
+
+    exception_list() = default;
+    explicit exception_list(container errors) : errors_(std::move(errors)) {}
+
+    [[nodiscard]] std::size_t size() const { return errors_.size(); }
+    [[nodiscard]] bool empty() const { return errors_.empty(); }
+    [[nodiscard]] const_iterator begin() const { return errors_.begin(); }
+    [[nodiscard]] const_iterator end() const { return errors_.end(); }
+    [[nodiscard]] const value_type& operator[](std::size_t i) const {
+        return errors_[i];
+    }
+
+    void push_back(value_type e) { errors_.push_back(std::move(e)); }
+
+private:
+    container errors_;
+};
+
+/// Analogue of sycl::async_handler.
+using async_handler = std::function<void(exception_list)>;
+
+/// Structured report of a wedged dataflow group: the watchdog (pipe
+/// deadlock-timeouts in the worker kernels) converts per-kernel
+/// pipe_deadlock throws into one dataflow_error naming every kernel that was
+/// blocked on a pipe when the group collapsed.
+class dataflow_error : public std::runtime_error {
+public:
+    dataflow_error(const std::string& message,
+                   std::vector<std::string> blocked_kernels)
+        : std::runtime_error(message),
+          blocked_kernels_(std::move(blocked_kernels)) {}
+
+    /// Names of the kernels that were blocked on pipe operations.
+    [[nodiscard]] const std::vector<std::string>& blocked_kernels() const {
+        return blocked_kernels_;
+    }
+
+private:
+    std::vector<std::string> blocked_kernels_;
+};
+
+}  // namespace syclite

@@ -6,14 +6,25 @@
 // Divergence from Intel SYCL: Intel pipes are static program-scope classes
 // (pipe<id, T, capacity>::write). syclite pipes are objects captured by
 // reference, which keeps them testable; capacity semantics are identical.
+//
+// Deadlock watchdog: blocking read/write time out (constructor argument,
+// $ALTIS_PIPE_TIMEOUT_MS, or 30 s by default) and throw pipe_deadlock with
+// the pipe's name, capacity and occupancy. Inside a dataflow group the queue
+// converts those into one structured dataflow_error naming every blocked
+// kernel. An active fault plan (`pipe:<name>@N`) can stall the Nth matching
+// pipe operation to exercise exactly that path.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "fault/inject.hpp"
 
 namespace syclite {
 
@@ -22,12 +33,31 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// Deadlock-timeout applied to pipes that do not pass one explicitly:
+/// $ALTIS_PIPE_TIMEOUT_MS when set (and parseable), else 30000 ms. Read per
+/// construction so tests can adjust the environment between pipes.
+[[nodiscard]] inline std::chrono::milliseconds default_pipe_timeout() {
+    if (const char* env = std::getenv("ALTIS_PIPE_TIMEOUT_MS")) {
+        char* end = nullptr;
+        const long ms = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && ms > 0)
+            return std::chrono::milliseconds(ms);
+    }
+    return std::chrono::milliseconds(30000);
+}
+
 template <typename T>
 class pipe {
 public:
-    explicit pipe(std::size_t capacity = 64)
-        : capacity_(capacity), ring_(capacity) {
+    explicit pipe(std::size_t capacity = 64, std::string name = "pipe",
+                  std::chrono::milliseconds timeout = default_pipe_timeout())
+        : capacity_(capacity),
+          name_(std::move(name)),
+          timeout_(timeout),
+          ring_(capacity) {
         if (capacity == 0) throw std::invalid_argument("pipe capacity must be > 0");
+        if (timeout <= std::chrono::milliseconds::zero())
+            throw std::invalid_argument("pipe timeout must be > 0");
     }
 
     pipe(const pipe&) = delete;
@@ -36,11 +66,11 @@ public:
     /// Blocking write; throws pipe_deadlock if the consumer never drains
     /// (guards against kernels mistakenly run outside a dataflow group).
     void write(const T& value) {
+        maybe_injected_stall("write");
         std::unique_lock lock(mutex_);
-        if (!not_full_.wait_for(lock, kDeadlockTimeout,
+        if (!not_full_.wait_for(lock, timeout_,
                                 [&] { return count_ < capacity_; }))
-            throw pipe_deadlock("pipe::write timed out -- are both kernels "
-                                "running in a dataflow group?");
+            throw pipe_deadlock(deadlock_message("write"));
         ring_[(head_ + count_) % capacity_] = value;
         ++count_;
         not_empty_.notify_one();
@@ -48,11 +78,11 @@ public:
 
     /// Blocking read; throws pipe_deadlock if no producer ever writes.
     T read() {
+        maybe_injected_stall("read");
         std::unique_lock lock(mutex_);
-        if (!not_empty_.wait_for(lock, kDeadlockTimeout,
+        if (!not_empty_.wait_for(lock, timeout_,
                                  [&] { return count_ > 0; }))
-            throw pipe_deadlock("pipe::read timed out -- are both kernels "
-                                "running in a dataflow group?");
+            throw pipe_deadlock(deadlock_message("read"));
         T value = ring_[head_];
         head_ = (head_ + 1) % capacity_;
         --count_;
@@ -80,16 +110,41 @@ public:
     }
 
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::chrono::milliseconds timeout() const { return timeout_; }
+    /// Elements currently buffered (racy under concurrency; for reporting).
+    [[nodiscard]] std::size_t occupancy() const {
+        std::lock_guard lock(mutex_);
+        return count_;
+    }
 
 private:
-    static constexpr std::chrono::seconds kDeadlockTimeout{30};
+    std::string deadlock_message(const char* op) const {
+        return "pipe '" + name_ + "' " + op + " timed out after " +
+               std::to_string(timeout_.count()) + " ms (capacity " +
+               std::to_string(capacity_) + ", occupancy " +
+               std::to_string(count_) + "/" + std::to_string(capacity_) +
+               ") -- are both kernels running in a dataflow group?";
+    }
+
+    /// An injected stall behaves as if the peer kernel never made progress:
+    /// this operation blocks for the full watchdog timeout, then collapses
+    /// through the ordinary deadlock path.
+    void maybe_injected_stall(const char* op) {
+        if (!altis::fault::should_stall_pipe(name_)) return;
+        std::unique_lock lock(mutex_);
+        stall_cv_.wait_for(lock, timeout_, [] { return false; });
+        throw pipe_deadlock("[injected stall] " + deadlock_message(op));
+    }
 
     std::size_t capacity_;
+    std::string name_;
+    std::chrono::milliseconds timeout_;
     std::vector<T> ring_;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
-    std::mutex mutex_;
-    std::condition_variable not_full_, not_empty_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_, not_empty_, stall_cv_;
 };
 
 }  // namespace syclite

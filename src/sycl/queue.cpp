@@ -2,27 +2,52 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "fault/inject.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
+#include "sycl/pipe.hpp"
 
 namespace syclite {
 
-queue::queue(const perf::device_spec& dev, perf::runtime_kind rt)
-    : dev_(dev), rt_(rt), trace_(trace::session::current()) {
+namespace fault = altis::fault;
+
+queue::queue(const perf::device_spec& dev, perf::runtime_kind rt,
+             async_handler handler)
+    : dev_(dev), rt_(rt), trace_(trace::session::current()),
+      handler_(std::move(handler)) {
     if (trace_ != nullptr) {
         if (trace_->device() == nullptr) trace_->bind_device(dev_);
         trace_base_ns_ = trace_->last_end_ns();
     }
+    // Device acquisition is an injection point: a fault plan can make this
+    // device intermittently unavailable (oneAPI enumeration failures).
+    try {
+        fault::maybe_inject(fault::op_kind::device, dev_.name,
+                            "device acquisition failed");
+    } catch (const std::exception& e) {
+        record_error_span(std::string("error: ") + e.what());
+        throw;
+    }
 }
 
-queue::queue(const std::string& device_name, perf::runtime_kind rt)
-    : queue(perf::device_by_name(device_name), rt) {}
+queue::queue(const std::string& device_name, perf::runtime_kind rt,
+             async_handler handler)
+    : queue(perf::device_by_name(device_name), rt, std::move(handler)) {}
 
 queue::~queue() {
     // Abandoning a dataflow group would leak blocked threads; join them.
     for (auto& t : pending_threads_)
         if (t.joinable()) t.join();
+}
+
+void queue::record_error_span(const std::string& label) {
+    if (trace_ == nullptr) return;
+    trace::span s{trace::span_kind::overhead, label,
+                  trace_base_ns_ + sim_now_ns_, trace_base_ns_ + sim_now_ns_};
+    s.status = trace::span_status::failed;
+    trace_->record(std::move(s));
 }
 
 event queue::record(const perf::kernel_stats& stats, double duration_ns) {
@@ -47,21 +72,50 @@ event queue::finish_submit(handler&& h) {
     if (!h.has_kernel()) return event(sim_now_ns_, sim_now_ns_, sim_now_ns_);
 
     if (in_dataflow_) {
+        const std::size_t index = pending_threads_.size();
         pending_stats_.push_back(h.stats());
         pending_threads_.emplace_back(
-            [this, exec = std::move(h.exec_)]() mutable {
+            [this, index, name = h.stats().name,
+             exec = std::move(h.exec_)]() mutable {
+                worker_error we;
+                we.index = index;
+                we.kernel = name;
                 try {
+                    fault::maybe_inject(fault::op_kind::launch, name,
+                                        "kernel launch failed");
                     exec(thread_pool::global());
+                    return;
+                } catch (const pipe_deadlock& pd) {
+                    // Watchdog: a pipe timeout means this kernel was wedged
+                    // waiting for its peer; end_dataflow() merges these into
+                    // one structured dataflow_error.
+                    we.error = std::current_exception();
+                    we.pipe_blocked = true;
+                    we.detail = pd.what();
                 } catch (...) {
-                    std::lock_guard lock(pending_error_mutex_);
-                    if (!pending_error_)
-                        pending_error_ = std::current_exception();
+                    we.error = std::current_exception();
                 }
+                std::lock_guard lock(worker_errors_mutex_);
+                worker_errors_.push_back(std::move(we));
             });
         return event();  // timestamps assigned at end_dataflow()
     }
 
-    h.exec_(thread_pool::global());
+    try {
+        fault::maybe_inject(fault::op_kind::launch, h.stats().name,
+                            "kernel launch failed");
+        h.exec_(thread_pool::global());
+    } catch (const std::exception& e) {
+        record_error_span(std::string("error: ") + e.what());
+        if (handler_) {
+            // SYCL semantics: execution errors are asynchronous -- they
+            // surface at the next wait()/throw_asynchronous(), not here.
+            async_errors_.push_back(std::current_exception());
+            return event(sim_now_ns_, sim_now_ns_, sim_now_ns_,
+                         h.stats().name);
+        }
+        throw;
+    }
     const double duration =
         (dev_.is_fpga() && design_fmax_mhz_ > 0.0)
             ? perf::fpga_kernel_time_ns(h.stats(), dev_, design_fmax_mhz_)
@@ -82,6 +136,24 @@ void queue::begin_dataflow() {
     in_dataflow_ = true;
 }
 
+void queue::abort_dataflow() noexcept {
+    for (auto& t : pending_threads_)
+        if (t.joinable()) t.join();
+    pending_threads_.clear();
+    pending_stats_.clear();
+    worker_errors_.clear();
+    in_dataflow_ = false;
+}
+
+void queue::deliver(exception_list errors) {
+    if (errors.empty()) return;
+    if (handler_) {
+        handler_(std::move(errors));
+        return;
+    }
+    std::rethrow_exception(errors[0]);
+}
+
 std::vector<event> queue::end_dataflow() {
     if (!in_dataflow_)
         throw std::logic_error("queue: end_dataflow without begin_dataflow");
@@ -89,10 +161,37 @@ std::vector<event> queue::end_dataflow() {
 
     for (auto& t : pending_threads_) t.join();
     pending_threads_.clear();
-    if (pending_error_) {
+    if (!worker_errors_.empty()) {
+        std::vector<worker_error> errors = std::move(worker_errors_);
+        worker_errors_.clear();
         pending_stats_.clear();
-        std::exception_ptr err = std::exchange(pending_error_, nullptr);
-        std::rethrow_exception(err);
+        // Delivery order is submission order, independent of which worker
+        // thread lost the race to report first.
+        std::sort(errors.begin(), errors.end(),
+                  [](const worker_error& a, const worker_error& b) {
+                      return a.index < b.index;
+                  });
+        std::vector<std::string> blocked;
+        std::string detail;
+        for (const auto& we : errors) {
+            if (!we.pipe_blocked) continue;
+            blocked.push_back(we.kernel);
+            if (!detail.empty()) detail += "; ";
+            detail += we.kernel + ": " + we.detail;
+        }
+        exception_list list;
+        if (!blocked.empty()) {
+            std::string msg = "dataflow deadlock: kernel(s) blocked on pipes:";
+            for (const auto& k : blocked) msg += " " + k;
+            msg += " [" + detail + "]";
+            list.push_back(std::make_exception_ptr(
+                dataflow_error(msg, std::move(blocked))));
+        }
+        for (auto& we : errors)
+            if (!we.pipe_blocked) list.push_back(std::move(we.error));
+        record_error_span("dataflow error");
+        deliver(std::move(list));
+        return {};  // handler consumed the errors; the group produced no work
     }
 
     // Simulated overlap: every kernel of the group launches together; the
@@ -150,6 +249,13 @@ std::vector<event> queue::end_dataflow() {
     return evs;
 }
 
+void queue::throw_asynchronous() {
+    if (async_errors_.empty()) return;
+    exception_list list(std::move(async_errors_));
+    async_errors_.clear();
+    deliver(std::move(list));
+}
+
 void queue::wait() {
     if (in_dataflow_)
         throw std::logic_error("queue: wait() inside a dataflow group -- call "
@@ -161,6 +267,7 @@ void queue::wait() {
                         trace_base_ns_ + sim_now_ns_ + sync});
     sim_now_ns_ += sync;
     non_kernel_ns_ += sync;
+    throw_asynchronous();
 }
 
 void queue::annotate_overhead_ns(double ns) {
@@ -174,6 +281,14 @@ void queue::annotate_overhead_ns(double ns) {
 }
 
 void queue::annotate_transfer(double bytes) {
+    try {
+        fault::maybe_inject(fault::op_kind::transfer, "transfer",
+                            std::to_string(static_cast<long long>(bytes)) +
+                                " bytes");
+    } catch (const std::exception& e) {
+        record_error_span(std::string("error: ") + e.what());
+        throw;
+    }
     const double t = perf::transfer_ns(rt_, dev_, bytes);
     if (trace_ != nullptr) {
         trace::span s{trace::span_kind::transfer, "transfer",

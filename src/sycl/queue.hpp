@@ -8,6 +8,13 @@
 // Dataflow groups (begin_dataflow/end_dataflow) run their kernels on real
 // concurrent threads -- required for pipe communication -- and overlap them
 // on the simulated timeline (paper Fig. 3).
+//
+// Error model (SYCL-conformant, see sycl/error.hpp): a queue may carry an
+// async_handler. Errors raised by kernel execution -- including injected
+// faults from an active altis::fault plan -- are then collected and
+// delivered as an exception_list at wait()/end_dataflow() boundaries, in
+// submission order, and the queue remains usable. Without a handler the
+// first error is (re)thrown at the point it is observed.
 #pragma once
 
 #include <memory>
@@ -17,6 +24,7 @@
 
 #include "perf/device.hpp"
 #include "perf/overhead.hpp"
+#include "sycl/error.hpp"
 #include "sycl/handler.hpp"
 #include "trace/session.hpp"
 
@@ -59,9 +67,11 @@ private:
 class queue {
 public:
     explicit queue(const perf::device_spec& dev,
-                   perf::runtime_kind rt = perf::runtime_kind::sycl);
+                   perf::runtime_kind rt = perf::runtime_kind::sycl,
+                   async_handler handler = {});
     queue(const std::string& device_name,
-          perf::runtime_kind rt = perf::runtime_kind::sycl);
+          perf::runtime_kind rt = perf::runtime_kind::sycl,
+          async_handler handler = {});
     ~queue();
 
     queue(const queue&) = delete;
@@ -69,6 +79,15 @@ public:
 
     [[nodiscard]] const perf::device_spec& device() const { return dev_; }
     [[nodiscard]] perf::runtime_kind runtime() const { return rt_; }
+
+    /// Installs (or clears) the asynchronous error handler; see the header
+    /// comment for the delivery contract.
+    void set_async_handler(async_handler handler) {
+        handler_ = std::move(handler);
+    }
+    [[nodiscard]] bool has_async_handler() const {
+        return static_cast<bool>(handler_);
+    }
 
     template <typename CGF>
     event submit(CGF&& cgf) {
@@ -78,30 +97,45 @@ public:
     }
 
     /// Host synchronization (cudaDeviceSynchronize / queue::wait analogue);
-    /// charges sync overhead to the non-kernel region.
+    /// charges sync overhead to the non-kernel region, then delivers any
+    /// pending asynchronous errors (sycl::queue::wait_and_throw semantics).
     void wait();
+
+    /// Delivers pending asynchronous errors without synchronizing: calls the
+    /// async_handler with the accumulated exception_list, or rethrows the
+    /// first pending error when no handler is installed. No-op when clean.
+    void throw_asynchronous();
 
     /// All kernels submitted until end_dataflow() run concurrently (real
     /// threads; pipes may connect them) and overlap on the simulated
-    /// timeline. Nesting is not allowed.
+    /// timeline. Nesting is not allowed. Prefer dataflow_guard (below) so an
+    /// exception cannot leave the group latched open.
     void begin_dataflow();
-    /// Joins the dataflow kernels and returns their events.
+    /// Joins the dataflow kernels and returns their events. Worker errors
+    /// are delivered here: pipe deadlocks are merged into one structured
+    /// dataflow_error naming every blocked kernel; with an async_handler the
+    /// full list arrives in submission order and the queue stays usable.
     std::vector<event> end_dataflow();
+    /// Abandons an open dataflow group: joins any worker threads and
+    /// discards their pending stats and errors. Safe to call when no group
+    /// is open. Used by dataflow_guard on exception escape.
+    void abort_dataflow() noexcept;
 
     /// Modeled host->device / device->host copies; mirror the cudaMemcpy
     /// calls of the original Altis code. Functionally a memcpy (buffers are
     /// host-backed); on the timeline a PCIe transfer.
     template <typename T>
     void copy_to_device(buffer<T>& dst, const T* src) {
-        std::copy(src, src + dst.size(), dst.host_data());
         annotate_transfer(static_cast<double>(dst.byte_size()));
+        std::copy(src, src + dst.size(), dst.host_data());
     }
     template <typename T>
     void copy_from_device(const buffer<T>& src, T* dst) {
-        std::copy(src.host_data(), src.host_data() + src.size(), dst);
         annotate_transfer(static_cast<double>(src.byte_size()));
+        std::copy(src.host_data(), src.host_data() + src.size(), dst);
     }
-    /// Timing-only transfer annotation (no functional copy).
+    /// Timing-only transfer annotation (no functional copy); also the
+    /// injection point for `transfer` faults.
     void annotate_transfer(double bytes);
 
     /// Charge arbitrary non-kernel time (library temp allocations, etc.).
@@ -131,8 +165,19 @@ public:
     [[nodiscard]] trace::session* trace() const { return trace_; }
 
 private:
+    /// One failed dataflow worker, keyed by submission order.
+    struct worker_error {
+        std::size_t index = 0;
+        std::string kernel;
+        std::exception_ptr error;
+        bool pipe_blocked = false;  ///< failure was a pipe deadlock-timeout
+        std::string detail;         ///< deadlock message (pipe, occupancy)
+    };
+
     event finish_submit(handler&& h);
     event record(const perf::kernel_stats& stats, double duration_ns);
+    void record_error_span(const std::string& label);
+    void deliver(exception_list errors);
 
     const perf::device_spec& dev_;
     perf::runtime_kind rt_;
@@ -149,11 +194,40 @@ private:
     double non_kernel_ns_ = 0.0;
     std::vector<event> events_;
 
+    async_handler handler_;
+    /// Errors from sequential submissions awaiting delivery (handler set).
+    std::vector<std::exception_ptr> async_errors_;
+
     bool in_dataflow_ = false;
     std::vector<perf::kernel_stats> pending_stats_;
     std::vector<std::thread> pending_threads_;
-    std::exception_ptr pending_error_;
-    std::mutex pending_error_mutex_;
+    std::vector<worker_error> worker_errors_;
+    std::mutex worker_errors_mutex_;
+};
+
+/// RAII dataflow group: begins the group on construction; join() ends it and
+/// returns the events. If the scope unwinds before join() -- a kernel threw,
+/// an allocation failed -- the group is aborted instead of leaving the queue
+/// latched in dataflow mode.
+class dataflow_guard {
+public:
+    explicit dataflow_guard(queue& q) : q_(q) { q.begin_dataflow(); }
+    ~dataflow_guard() {
+        if (open_) q_.abort_dataflow();
+    }
+    dataflow_guard(const dataflow_guard&) = delete;
+    dataflow_guard& operator=(const dataflow_guard&) = delete;
+
+    /// Ends the group (see queue::end_dataflow). May throw; the guard is
+    /// disarmed first, so the queue is never left latched.
+    std::vector<event> join() {
+        open_ = false;
+        return q_.end_dataflow();
+    }
+
+private:
+    queue& q_;
+    bool open_ = true;
 };
 
 }  // namespace syclite

@@ -5,6 +5,7 @@
 
 #include "sycl/buffer.hpp"         // IWYU pragma: export
 #include "sycl/compute_units.hpp"     // IWYU pragma: export
+#include "sycl/error.hpp"             // IWYU pragma: export
 #include "sycl/group_algorithms.hpp"  // IWYU pragma: export
 #include "sycl/handler.hpp"  // IWYU pragma: export
 #include "sycl/pipe.hpp"     // IWYU pragma: export

@@ -9,15 +9,29 @@
 #include <new>
 #include <stdexcept>
 
+#include "fault/inject.hpp"
 #include "sycl/queue.hpp"
 
 namespace syclite {
 
 enum class usm_alloc_kind { host, device, shared };
 
+[[nodiscard]] inline const char* to_string(usm_alloc_kind k) {
+    switch (k) {
+        case usm_alloc_kind::host: return "usm_host";
+        case usm_alloc_kind::device: return "usm_device";
+        case usm_alloc_kind::shared: return "usm_shared";
+    }
+    return "usm";
+}
+
 template <typename T>
 [[nodiscard]] T* usm_malloc(std::size_t count, const queue& q,
-                            usm_alloc_kind /*kind*/) {
+                            usm_alloc_kind kind) {
+    // Injection point: `alloc:usm*@N` makes the Nth USM allocation fail
+    // (throwing alloc_fault -- the retryable out-of-resources analogue).
+    altis::fault::maybe_inject(altis::fault::op_kind::alloc, to_string(kind),
+                               std::to_string(count * sizeof(T)) + " bytes");
     if (!q.device().usm_supported) return nullptr;
     return static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
 }

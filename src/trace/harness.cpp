@@ -7,6 +7,7 @@ namespace altis::trace {
 
 cli_harness::cli_harness(std::string name) : session_(std::move(name)) {
     add_trace_options(opts_);
+    fault::add_fault_options(opts_);
 }
 
 int cli_harness::parse(int argc, char** argv) {
@@ -17,6 +18,16 @@ int cli_harness::parse(int argc, char** argv) {
         return 2;
     }
     topts_ = options::from(opts_);
+    fopts_ = fault::options::from(opts_);
+    if (fopts_.enabled()) {
+        try {
+            plan_.emplace(fopts_.make_plan());
+        } catch (const fault::spec_error& e) {
+            std::cerr << "error: bad --inject spec: " << e.what() << "\n";
+            return 2;
+        }
+        fault_scope_.emplace(*plan_);
+    }
     // Only install the session when asked to: an inactive bench collects no
     // spans and behaves exactly as before the trace layer existed.
     if (topts_.enabled()) scope_.emplace(session_);

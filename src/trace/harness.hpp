@@ -12,6 +12,8 @@
 #include <string>
 
 #include "core/option_parser.hpp"
+#include "fault/inject.hpp"
+#include "fault/options.hpp"
 #include "trace/options.hpp"
 #include "trace/session.hpp"
 
@@ -33,9 +35,23 @@ public:
     [[nodiscard]] OptionParser& parser() { return opts_; }
     [[nodiscard]] session& trace_session() { return session_; }
 
+    /// Fault/resilience options parsed from the shared flags (--inject,
+    /// --fail-fast, --retries, --retry-backoff-ms). When --inject is given
+    /// (or $ALTIS_FAULT is set), parse() compiles the plan and makes it the
+    /// process-wide active plan for the binary's lifetime; a malformed spec
+    /// is a usage error (exit code 2).
+    [[nodiscard]] const fault::options& fault_options() const { return fopts_; }
+    [[nodiscard]] const fault::retry_policy& retry_policy() const {
+        return fopts_.policy;
+    }
+    [[nodiscard]] bool fail_fast() const { return fopts_.fail_fast; }
+
 private:
     OptionParser opts_;
     trace::options topts_;
+    fault::options fopts_;
+    std::optional<fault::plan> plan_;
+    std::optional<fault::scope> fault_scope_;
     session session_;
     std::optional<session::scope> scope_;
 };

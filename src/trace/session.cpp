@@ -23,6 +23,15 @@ const char* to_string(span_kind k) {
     return "?";
 }
 
+const char* to_string(span_status s) {
+    switch (s) {
+        case span_status::ok: return "ok";
+        case span_status::failed: return "failed";
+        case span_status::retried: return "retried";
+    }
+    return "?";
+}
+
 session::session(std::string name) : name_(std::move(name)) {}
 
 void session::record(span s) { spans_.push_back(std::move(s)); }

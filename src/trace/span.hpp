@@ -23,6 +23,18 @@ enum class span_kind {
 
 [[nodiscard]] const char* to_string(span_kind k);
 
+/// Failure flag for spans: operations hit by fault injection (or real
+/// errors) are marked `failed`; a successful re-attempt after a retryable
+/// fault is marked `retried`. Exporters surface the flag so timelines show
+/// exactly where injections landed.
+enum class span_status {
+    ok,
+    failed,
+    retried,
+};
+
+[[nodiscard]] const char* to_string(span_status s);
+
 /// Model-derived counters attached to kernel spans (zero elsewhere).
 struct span_counters {
     double flops = 0.0;       ///< total modeled FP ops (FP32+FP64+SFU)
@@ -46,6 +58,7 @@ struct span {
     /// placed on lanes 1..N so exported traces show them overlapping
     /// (paper Fig. 3). Lanes are reused by successive groups.
     int track = 0;
+    span_status status = span_status::ok;
     span_counters counters;
 
     [[nodiscard]] double duration_ns() const { return end_ns - start_ns; }

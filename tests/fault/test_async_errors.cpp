@@ -1,0 +1,197 @@
+// SYCL-style asynchronous error delivery, the dataflow watchdog's structured
+// deadlock reporting, the RAII dataflow guard, and the configurable pipe
+// deadlock timeout.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fault/inject.hpp"
+#include "sycl/syclite.hpp"
+
+namespace syclite {
+namespace {
+
+namespace fault = altis::fault;
+
+perf::kernel_stats stats(const char* name) {
+    perf::kernel_stats k;
+    k.name = name;
+    k.fp32_ops = 1.0;
+    k.bytes_read = 4.0;
+    return k;
+}
+
+TEST(AsyncErrors, HandlerReceivesErrorsAtWaitInSubmissionOrder) {
+    fault::plan p = fault::plan::parse("launch:k1@1;launch:k3@1");
+    fault::scope s(p);
+    std::vector<std::string> delivered;
+    queue q("rtx_2080", perf::runtime_kind::sycl, [&](exception_list errors) {
+        for (const auto& e : errors) {
+            try {
+                std::rethrow_exception(e);
+            } catch (const std::exception& ex) {
+                delivered.emplace_back(ex.what());
+            }
+        }
+    });
+    int ran = 0;
+    q.submit([&](handler& h) { h.single_task(stats("k1"), [&] { ++ran; }); });
+    q.submit([&](handler& h) { h.single_task(stats("k2"), [&] { ++ran; }); });
+    q.submit([&](handler& h) { h.single_task(stats("k3"), [&] { ++ran; }); });
+    EXPECT_TRUE(delivered.empty());  // errors are asynchronous
+    q.wait();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_NE(delivered[0].find("'k1'"), std::string::npos);
+    EXPECT_NE(delivered[1].find("'k3'"), std::string::npos);
+    EXPECT_EQ(ran, 1);  // only k2 executed
+
+    // The queue stays usable and the list was drained.
+    delivered.clear();
+    q.submit([&](handler& h) { h.single_task(stats("k4"), [] {}); });
+    q.wait();
+    EXPECT_TRUE(delivered.empty());
+}
+
+TEST(AsyncErrors, ThrowAsynchronousIsNoOpWhenClean) {
+    bool called = false;
+    queue q("rtx_2080", perf::runtime_kind::sycl,
+            [&](exception_list) { called = true; });
+    q.throw_asynchronous();
+    EXPECT_FALSE(called);
+}
+
+TEST(AsyncErrors, WithoutHandlerFirstErrorRethrown) {
+    fault::plan p = fault::plan::parse("launch:k1@1");
+    fault::scope s(p);
+    queue q("rtx_2080");
+    EXPECT_THROW(
+        q.submit([&](handler& h) { h.single_task(stats("k1"), [] {}); }),
+        fault::launch_fault);
+}
+
+TEST(AsyncErrors, InjectedPipeStallBecomesStructuredDataflowError) {
+    fault::plan p = fault::plan::parse("pipe:stall_me@1");
+    fault::scope s(p);
+    queue q("stratix_10");
+    pipe<int> pp(4, "stall_me", std::chrono::milliseconds(50));
+    q.begin_dataflow();
+    q.submit([&](handler& h) {
+        perf::kernel_stats k = stats("writer");
+        k.writes_pipe = true;
+        h.single_task(k, [&pp] { pp.write(1); });
+    });
+    try {
+        q.end_dataflow();
+        FAIL() << "stalled group should collapse into a dataflow_error";
+    } catch (const dataflow_error& e) {
+        ASSERT_EQ(e.blocked_kernels().size(), 1u);
+        EXPECT_EQ(e.blocked_kernels()[0], "writer");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("injected stall"), std::string::npos);
+        EXPECT_NE(what.find("stall_me"), std::string::npos);
+        EXPECT_NE(what.find("capacity 4"), std::string::npos);
+        EXPECT_NE(what.find("occupancy"), std::string::npos);
+    }
+    // The queue recovered: a fresh dataflow group works.
+    buffer<int> out(8);
+    dataflow_guard g(q);
+    q.submit([&](handler& h) {
+        auto acc = h.get_access(out, access_mode::discard_write);
+        h.single_task(stats("fine"), [acc] { acc[0] = 7; });
+    });
+    EXPECT_EQ(g.join().size(), 1u);
+    EXPECT_EQ(out.host_data()[0], 7);
+}
+
+TEST(AsyncErrors, HandlerConsumesDataflowErrorAndQueueStaysUsable) {
+    fault::plan p = fault::plan::parse("pipe:wedged@1");
+    fault::scope s(p);
+    std::vector<std::string> delivered;
+    queue q("stratix_10", perf::runtime_kind::sycl, [&](exception_list errors) {
+        for (const auto& e : errors) {
+            try {
+                std::rethrow_exception(e);
+            } catch (const std::exception& ex) {
+                delivered.emplace_back(ex.what());
+            }
+        }
+    });
+    pipe<int> pp(2, "wedged", std::chrono::milliseconds(50));
+    dataflow_guard g(q);
+    q.submit([&](handler& h) {
+        perf::kernel_stats k = stats("reader");
+        k.reads_pipe = true;
+        h.single_task(k, [&pp] { (void)pp.read(); });
+    });
+    const auto events = g.join();  // handler consumes; no throw
+    EXPECT_TRUE(events.empty());
+    ASSERT_EQ(delivered.size(), 1u);
+    EXPECT_NE(delivered[0].find("dataflow deadlock"), std::string::npos);
+    q.submit([&](handler& h) { h.single_task(stats("after"), [] {}); });
+    q.wait();
+}
+
+TEST(AsyncErrors, DataflowGuardUnlatchesQueueOnException) {
+    queue q("stratix_10");
+    try {
+        dataflow_guard g(q);
+        q.submit([&](handler& h) { h.single_task(stats("a"), [] {}); });
+        throw std::runtime_error("host-side failure mid-group");
+    } catch (const std::runtime_error&) {
+    }
+    // Regression: without the guard the queue stayed latched in dataflow
+    // mode and every later submit silently queued forever.
+    buffer<int> b(4);
+    q.submit([&](handler& h) {
+        auto acc = h.get_access(b, access_mode::discard_write);
+        h.single_task(stats("sequential"), [acc] { acc[0] = 3; });
+    });
+    q.wait();
+    EXPECT_EQ(b.host_data()[0], 3);
+    // And a fresh group can be opened.
+    dataflow_guard g2(q);
+    q.submit([&](handler& h) { h.single_task(stats("b"), [] {}); });
+    EXPECT_EQ(g2.join().size(), 1u);
+}
+
+TEST(PipeTimeout, ConstructorTimeoutBoundsBlockingOps) {
+    pipe<int> pp(2, "tiny", std::chrono::milliseconds(20));
+    EXPECT_EQ(pp.timeout(), std::chrono::milliseconds(20));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW((void)pp.read(), pipe_deadlock);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));  // not the 30 s default
+    try {
+        (void)pp.read();
+    } catch (const pipe_deadlock& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'tiny'"), std::string::npos);
+        EXPECT_NE(what.find("20 ms"), std::string::npos);
+        EXPECT_NE(what.find("capacity 2"), std::string::npos);
+        EXPECT_NE(what.find("occupancy 0/2"), std::string::npos);
+    }
+}
+
+TEST(PipeTimeout, EnvironmentOverridesDefault) {
+    ::setenv("ALTIS_PIPE_TIMEOUT_MS", "17", 1);
+    EXPECT_EQ(default_pipe_timeout(), std::chrono::milliseconds(17));
+    pipe<int> pp(1, "env_pipe");
+    EXPECT_EQ(pp.timeout(), std::chrono::milliseconds(17));
+    ::setenv("ALTIS_PIPE_TIMEOUT_MS", "not-a-number", 1);
+    EXPECT_EQ(default_pipe_timeout(), std::chrono::milliseconds(30000));
+    ::setenv("ALTIS_PIPE_TIMEOUT_MS", "-5", 1);
+    EXPECT_EQ(default_pipe_timeout(), std::chrono::milliseconds(30000));
+    ::unsetenv("ALTIS_PIPE_TIMEOUT_MS");
+    EXPECT_EQ(default_pipe_timeout(), std::chrono::milliseconds(30000));
+}
+
+TEST(PipeTimeout, NonPositiveTimeoutRejected) {
+    EXPECT_THROW(pipe<int>(4, "bad", std::chrono::milliseconds(0)),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace syclite

@@ -1,0 +1,120 @@
+// Each injection kind exercised through the real syclite operation it hooks:
+// USM and buffer allocation, kernel launch, transfer annotation, device
+// acquisition, and pipe stalls.
+#include "fault/inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sycl/syclite.hpp"
+
+namespace altis::fault {
+namespace {
+
+namespace sl = syclite;
+
+sl::perf::kernel_stats stats(const char* name) {
+    sl::perf::kernel_stats k;
+    k.name = name;
+    k.fp32_ops = 1.0;
+    k.bytes_read = 4.0;
+    return k;
+}
+
+TEST(FaultInject, NoActivePlanIsANoOp) {
+    ASSERT_EQ(active(), nullptr);
+    EXPECT_NO_THROW(maybe_inject(op_kind::alloc, "anything"));
+    EXPECT_FALSE(should_stall_pipe("anything"));
+}
+
+TEST(FaultInject, ScopeInstallsAndRestoresThePlan) {
+    plan p = plan::parse("alloc@1");
+    {
+        scope s(p);
+        EXPECT_EQ(active(), &p);
+    }
+    EXPECT_EQ(active(), nullptr);
+}
+
+TEST(FaultInject, NthUsmAllocationFails) {
+    plan p = plan::parse("alloc:usm*@2");
+    scope s(p);
+    sl::queue q("rtx_2080");
+    float* a = sl::malloc_device<float>(16, q);
+    EXPECT_NE(a, nullptr);
+    try {
+        (void)sl::malloc_device<float>(16, q);
+        FAIL() << "second USM allocation should fault";
+    } catch (const alloc_fault& f) {
+        EXPECT_EQ(f.kind(), op_kind::alloc);
+        EXPECT_EQ(f.op(), "usm_device");
+        EXPECT_TRUE(f.retryable());
+        EXPECT_NE(std::string(f.what()).find("injected alloc fault"),
+                  std::string::npos);
+        EXPECT_NE(std::string(f.what()).find("alloc:usm*@2"),
+                  std::string::npos);
+    }
+    // The rule fired once; later allocations proceed.
+    float* b = sl::malloc_device<float>(16, q);
+    EXPECT_NE(b, nullptr);
+    sl::usm_free(a, q);
+    sl::usm_free(b, q);
+}
+
+TEST(FaultInject, BufferConstructionFails) {
+    plan p = plan::parse("alloc:buffer@1");
+    scope s(p);
+    EXPECT_THROW(sl::buffer<int>(64), alloc_fault);
+    EXPECT_NO_THROW(sl::buffer<int>(64));  // rule exhausted
+}
+
+TEST(FaultInject, KernelLaunchFaultThrowsSynchronouslyWithoutHandler) {
+    plan p = plan::parse("launch:boom@1");
+    scope s(p);
+    sl::queue q("rtx_2080");
+    bool ran = false;
+    try {
+        q.submit([&](sl::handler& h) {
+            h.single_task(stats("boom"), [&] { ran = true; });
+        });
+        FAIL() << "launch should fault";
+    } catch (const launch_fault& f) {
+        EXPECT_EQ(f.op(), "boom");
+        EXPECT_FALSE(f.retryable());
+    }
+    EXPECT_FALSE(ran);  // the fault preempts execution
+    // Other kernels are unaffected, and the queue remains usable.
+    q.submit([&](sl::handler& h) { h.single_task(stats("fine"), [] {}); });
+    q.wait();
+}
+
+TEST(FaultInject, TransferFaultOnCopy) {
+    plan p = plan::parse("transfer@1");
+    scope s(p);
+    sl::queue q("rtx_2080");
+    sl::buffer<float> b(32);
+    std::vector<float> host(32, 1.0f);
+    EXPECT_THROW(q.copy_to_device(b, host.data()), transfer_fault);
+    EXPECT_NO_THROW(q.copy_to_device(b, host.data()));
+}
+
+TEST(FaultInject, DeviceFaultOnQueueConstruction) {
+    plan p = plan::parse("device:agilex@1");
+    scope s(p);
+    EXPECT_THROW(sl::queue("agilex"), device_fault);
+    EXPECT_NO_THROW(sl::queue("agilex"));    // transient: next acquisition ok
+    EXPECT_NO_THROW(sl::queue("rtx_2080"));  // other devices never matched
+}
+
+TEST(FaultInject, PipeRuleStallsViaShouldStallPipe) {
+    plan p = plan::parse("pipe:kmeans_*@1");
+    scope s(p);
+    EXPECT_FALSE(should_stall_pipe("other_pipe"));
+    EXPECT_TRUE(should_stall_pipe("kmeans_map"));
+    EXPECT_FALSE(should_stall_pipe("kmeans_map"));  // rule exhausted
+}
+
+}  // namespace
+}  // namespace altis::fault

@@ -1,0 +1,238 @@
+// Retry/backoff behaviour of the resilient harness, outcome recording, and
+// the reproducibility contract: the same plan (same seed) over the same
+// sweep yields a byte-for-byte identical report.
+#include "fault/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/common/suite.hpp"
+#include "core/result_database.hpp"
+#include "fault/inject.hpp"
+#include "support/mini_json.hpp"
+
+namespace altis::fault {
+namespace {
+
+TEST(FaultRetry, CleanRunIsOkFirstAttempt) {
+    const outcome oc = run_guarded([] {}, retry_policy{});
+    EXPECT_TRUE(oc.succeeded());
+    EXPECT_EQ(oc.attempts, 1);
+    EXPECT_DOUBLE_EQ(oc.backoff_ms, 0.0);
+    EXPECT_STREQ(oc.label(), "ok");
+}
+
+TEST(FaultRetry, RetryableFaultRetriesWithExponentialBackoff) {
+    // alloc@1x2: the first two allocation probes fault, the third succeeds.
+    plan p = plan::parse("alloc@1x2");
+    scope s(p);
+    std::vector<double> backoffs;
+    const outcome oc = run_guarded(
+        [] { maybe_inject(op_kind::alloc, "usm_device"); }, retry_policy{},
+        false,
+        [&](int, const std::string&, double ms) { backoffs.push_back(ms); });
+    EXPECT_TRUE(oc.succeeded());
+    EXPECT_EQ(oc.attempts, 3);
+    EXPECT_STREQ(oc.label(), "retried");
+    ASSERT_EQ(backoffs.size(), 2u);
+    EXPECT_DOUBLE_EQ(backoffs[0], 25.0);
+    EXPECT_DOUBLE_EQ(backoffs[1], 50.0);
+    EXPECT_DOUBLE_EQ(oc.backoff_ms, 75.0);
+}
+
+TEST(FaultRetry, NonRetryableFaultFailsImmediately) {
+    plan p = plan::parse("launch@1");
+    scope s(p);
+    const outcome oc = run_guarded(
+        [] { maybe_inject(op_kind::launch, "kernel"); }, retry_policy{});
+    EXPECT_FALSE(oc.succeeded());
+    EXPECT_EQ(oc.attempts, 1);
+    EXPECT_STREQ(oc.label(), "failed");
+    EXPECT_NE(oc.error.find("injected launch fault"), std::string::npos);
+}
+
+TEST(FaultRetry, ExhaustedRetriesFail) {
+    plan p = plan::parse("alloc@1x99");
+    scope s(p);
+    retry_policy policy;
+    policy.max_attempts = 3;
+    const outcome oc = run_guarded(
+        [] { maybe_inject(op_kind::alloc, "usm_host"); }, policy);
+    EXPECT_FALSE(oc.succeeded());
+    EXPECT_EQ(oc.attempts, 3);
+    EXPECT_STREQ(oc.label(), "failed");
+}
+
+TEST(FaultRetry, FailFastRethrows) {
+    plan p = plan::parse("launch@1");
+    scope s(p);
+    EXPECT_THROW(
+        (void)run_guarded([] { maybe_inject(op_kind::launch, "k"); },
+                          retry_policy{}, /*fail_fast=*/true),
+        launch_fault);
+}
+
+TEST(FaultRetry, OrdinaryExceptionIsNotRetried) {
+    int calls = 0;
+    const outcome oc = run_guarded(
+        [&] {
+            ++calls;
+            throw std::runtime_error("verification mismatch");
+        },
+        retry_policy{});
+    EXPECT_FALSE(oc.succeeded());
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(oc.error, "verification mismatch");
+}
+
+TEST(FaultRetry, SameSeedSameOutcomes) {
+    // Probabilistic plan driven twice from identical fresh state: the
+    // sequence of outcomes (attempts and statuses) must match exactly.
+    auto drive = [] {
+        plan p = plan::parse("alloc%0.4;seed=123");
+        scope s(p);
+        std::string log;
+        for (int i = 0; i < 20; ++i) {
+            const outcome oc = run_guarded(
+                [] { maybe_inject(op_kind::alloc, "usm_shared"); },
+                retry_policy{});
+            log += std::string(oc.label()) + ":" +
+                   std::to_string(oc.attempts) + ";";
+        }
+        return log;
+    };
+    EXPECT_EQ(drive(), drive());
+}
+
+TEST(FaultRetry, FailedConfigStillYieldsWellFormedJson) {
+    ResultDatabase db;
+    db.add_result("total_time", "app=kmeans", "ms", 12.5);
+    outcome failed;
+    failed.st = outcome::status::failed;
+    failed.attempts = 3;
+    failed.error = "injected alloc fault on 'usm_device' (rule alloc@1x99)";
+    record_outcome(db, "KMeans/fpga_opt/stratix_10/size2", failed);
+    outcome ok;
+    record_outcome(db, "NW/fpga_opt/stratix_10/size2", ok);
+
+    std::ostringstream out;
+    db.dump_json(out);
+    const mini_json::value v = mini_json::parse(out.str());
+    ASSERT_TRUE(v.has("results"));
+    ASSERT_TRUE(v.has("outcomes"));
+    const auto& outcomes = v.at("outcomes").as_array();
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].at("config").as_string(),
+              "KMeans/fpga_opt/stratix_10/size2");
+    EXPECT_EQ(outcomes[0].at("status").as_string(), "failed");
+    EXPECT_DOUBLE_EQ(outcomes[0].at("attempts").as_number(), 3.0);
+    EXPECT_NE(outcomes[0].at("error").as_string().find("injected alloc"),
+              std::string::npos);
+    EXPECT_EQ(outcomes[1].at("status").as_string(), "ok");
+    EXPECT_FALSE(db.all_outcomes_ok());
+}
+
+TEST(FaultRetry, JsonKeepsLegacyArrayShapeWithoutOutcomes) {
+    ResultDatabase db;
+    db.add_result("total_time", "app=nw", "ms", 1.0);
+    std::ostringstream out;
+    db.dump_json(out);
+    EXPECT_EQ(out.str().front(), '[');  // historical bare-array shape
+    const mini_json::value v = mini_json::parse(out.str());
+    EXPECT_EQ(v.as_array().size(), 1u);
+}
+
+TEST(FaultRetry, MergeAppendsResultsAndOutcomes) {
+    ResultDatabase main_db, attempt;
+    attempt.add_result("total_time", "app=srad", "ms", 3.0);
+    outcome oc;
+    oc.attempts = 2;
+    record_outcome(attempt, "SRAD/sycl_opt/rtx_2080/size1", oc);
+    main_db.merge(attempt);
+    ASSERT_EQ(main_db.results().size(), 1u);
+    EXPECT_EQ(main_db.results()[0].values.size(), 1u);
+    ASSERT_EQ(main_db.outcomes().size(), 1u);
+    EXPECT_EQ(main_db.outcomes()[0].status, "retried");
+}
+
+// The acceptance scenario: a plan injecting one allocation failure and one
+// pipe stall into a Fig. 4-style sweep completes, marks exactly the affected
+// configurations failed/retried, and is byte-for-byte reproducible.
+std::string fig4_style_sweep(const std::string& spec) {
+    plan p = plan::parse(spec);
+    scope s(p);
+    ResultDatabase db;
+    for (const auto& e : bench::suite()) {
+        if (!e.in_fig45) continue;
+        for (const Variant v : {Variant::fpga_base, Variant::fpga_opt}) {
+            const auto co = bench::run_config(e, v, "stratix_10", 1);
+            bench::record_config_outcome(
+                db, bench::config_label(e, v, "stratix_10", 1), co, true);
+            if (co.ms) db.add_result("total_ms",
+                                     bench::config_label(e, v, "stratix_10", 1),
+                                     "ms", *co.ms);
+        }
+    }
+    std::ostringstream out;
+    db.dump_json(out);
+    return out.str();
+}
+
+TEST(FaultRetry, InjectedSweepIsByteForByteReproducible) {
+    const std::string spec = "alloc@3;pipe:*@1;transfer%0.1;seed=9";
+    const std::string a = fig4_style_sweep(spec);
+    const std::string b = fig4_style_sweep(spec);
+    EXPECT_EQ(a, b);
+
+    // The sweep completed and recorded every configuration.
+    const mini_json::value v = mini_json::parse(a);
+    const auto& outcomes = v.at("outcomes").as_array();
+    std::size_t expected = 0;
+    for (const auto& e : bench::suite())
+        if (e.in_fig45) expected += 2;
+    EXPECT_EQ(outcomes.size(), expected);
+
+    // At least one config degraded (the pipe stall is non-retryable) and at
+    // least one config survived.
+    std::size_t failed = 0, okish = 0;
+    for (const auto& oc : outcomes) {
+        const std::string& st = oc.at("status").as_string();
+        if (st == "failed") ++failed;
+        if (st == "ok" || st == "retried") ++okish;
+    }
+    EXPECT_GE(failed, 1u);
+    EXPECT_GE(okish, 1u);
+}
+
+TEST(FaultRetry, AllocFaultIsRetriedInSweep) {
+    // alloc@1: exactly the first allocation probe faults; the first config's
+    // retry then succeeds, every other config is clean.
+    plan p = plan::parse("alloc@1");
+    scope s(p);
+    const auto& e = bench::suite().front();
+    const auto co = bench::run_config(e, Variant::fpga_base, "stratix_10", 1);
+    EXPECT_TRUE(co.oc.succeeded());
+    EXPECT_EQ(co.oc.attempts, 2);
+    EXPECT_STREQ(co.oc.label(), "retried");
+    ASSERT_TRUE(co.ms.has_value());
+    EXPECT_GT(*co.ms, 0.0);
+
+    const auto clean = bench::run_config(e, Variant::fpga_base, "stratix_10", 2);
+    EXPECT_TRUE(clean.oc.succeeded());
+    EXPECT_EQ(clean.oc.attempts, 1);
+}
+
+TEST(FaultRetry, NonexistentConfigIsSkippedNotFailed) {
+    // sycl_opt cannot target an FPGA: the config is reported skipped.
+    const auto& e = bench::suite().front();
+    const auto co = bench::run_config(e, Variant::sycl_opt, "stratix_10", 1);
+    EXPECT_TRUE(co.skipped);
+    EXPECT_STREQ(co.oc.label(), "skipped");
+    EXPECT_FALSE(co.ms.has_value());
+}
+
+}  // namespace
+}  // namespace altis::fault

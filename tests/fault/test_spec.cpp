@@ -1,0 +1,145 @@
+#include "fault/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace altis::fault {
+namespace {
+
+TEST(FaultSpec, ParsesEveryKindAndRoundTrips) {
+    plan p = plan::parse("alloc@1;launch:k*@2x3;transfer%0.25;pipe:map@4;"
+                         "device:agilex@1;seed=11");
+    ASSERT_EQ(p.rules().size(), 5u);
+    EXPECT_EQ(p.seed(), 11u);
+    EXPECT_EQ(p.rules()[0].kind, op_kind::alloc);
+    EXPECT_EQ(p.rules()[0].nth, 1u);
+    EXPECT_EQ(p.rules()[1].kind, op_kind::launch);
+    EXPECT_EQ(p.rules()[1].match, "k*");
+    EXPECT_EQ(p.rules()[1].nth, 2u);
+    EXPECT_EQ(p.rules()[1].times, 3u);
+    EXPECT_DOUBLE_EQ(p.rules()[2].probability, 0.25);
+    EXPECT_EQ(p.rules()[3].kind, op_kind::pipe);
+    EXPECT_EQ(p.rules()[4].kind, op_kind::device);
+    EXPECT_EQ(p.rules()[0].text(), "alloc@1");
+    EXPECT_EQ(p.rules()[1].text(), "launch:k*@2x3");
+    EXPECT_EQ(p.rules()[3].text(), "pipe:map@4");
+}
+
+TEST(FaultSpec, EmptySpecIsEmptyPlan) {
+    plan p = plan::parse("");
+    EXPECT_TRUE(p.empty());
+    EXPECT_FALSE(p.check(op_kind::alloc, "anything").has_value());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+    EXPECT_THROW(plan::parse("frobnicate@1"), spec_error);  // unknown kind
+    EXPECT_THROW(plan::parse("alloc"), spec_error);         // no trigger
+    EXPECT_THROW(plan::parse("alloc@0"), spec_error);       // 1-based
+    EXPECT_THROW(plan::parse("alloc@1x0"), spec_error);     // 1-based
+    EXPECT_THROW(plan::parse("alloc@2%0.5"), spec_error);   // mixed triggers
+    EXPECT_THROW(plan::parse("alloc%1.5"), spec_error);     // P out of range
+    EXPECT_THROW(plan::parse("alloc@x"), spec_error);       // bad number
+    EXPECT_THROW(plan::parse("seed=abc"), spec_error);
+}
+
+TEST(FaultSpec, GlobMatching) {
+    EXPECT_TRUE(glob_match("", "anything"));
+    EXPECT_TRUE(glob_match("*", "anything"));
+    EXPECT_TRUE(glob_match("kmeans*", "kmeans_map"));
+    EXPECT_FALSE(glob_match("kmeans*", "nw_kernel"));
+    EXPECT_TRUE(glob_match("*map*", "kmeans_map_st"));
+    EXPECT_TRUE(glob_match("k?eans", "kmeans"));
+    EXPECT_FALSE(glob_match("k?eans", "kmeeans"));
+    EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+    EXPECT_FALSE(glob_match("a*b*c", "aXXbYY"));
+}
+
+TEST(FaultSpec, CountingRuleFiresOnNthMatchOnly) {
+    plan p = plan::parse("alloc@3");
+    EXPECT_FALSE(p.check(op_kind::alloc, "a").has_value());
+    EXPECT_FALSE(p.check(op_kind::alloc, "b").has_value());
+    const auto h = p.check(op_kind::alloc, "c");
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->op, "c");
+    EXPECT_EQ(h->rule_text, "alloc@3");
+    EXPECT_FALSE(p.check(op_kind::alloc, "d").has_value());
+}
+
+TEST(FaultSpec, TimesWindowFiresConsecutively) {
+    plan p = plan::parse("launch@2x2");
+    EXPECT_FALSE(p.check(op_kind::launch, "k").has_value());
+    EXPECT_TRUE(p.check(op_kind::launch, "k").has_value());
+    EXPECT_TRUE(p.check(op_kind::launch, "k").has_value());
+    EXPECT_FALSE(p.check(op_kind::launch, "k").has_value());
+}
+
+TEST(FaultSpec, NonMatchingOperationsDoNotAdvanceCounters) {
+    plan p = plan::parse("alloc:usm*@1");
+    EXPECT_FALSE(p.check(op_kind::alloc, "buffer").has_value());  // no match
+    EXPECT_FALSE(p.check(op_kind::launch, "usm_host").has_value());  // kind
+    EXPECT_TRUE(p.check(op_kind::alloc, "usm_host").has_value());
+}
+
+TEST(FaultSpec, RuleCountersAreOrderIndependent) {
+    // Both rules match the same op; the first firing wins but the second
+    // rule's counter still advances, so swapping rule order changes which
+    // rule reports, never whether/when operations fault.
+    plan a = plan::parse("alloc@1;alloc@2");
+    plan b = plan::parse("alloc@2;alloc@1");
+    for (int i = 0; i < 4; ++i) {
+        const bool fa = a.check(op_kind::alloc, "x").has_value();
+        const bool fb = b.check(op_kind::alloc, "x").has_value();
+        EXPECT_EQ(fa, fb) << "operation " << i;
+    }
+}
+
+TEST(FaultSpec, ProbabilisticRulesAreSeedDeterministic) {
+    const char* spec = "transfer%0.5;seed=42";
+    plan a = plan::parse(spec);
+    plan b = plan::parse(spec);
+    int fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool fa = a.check(op_kind::transfer, "t").has_value();
+        const bool fb = b.check(op_kind::transfer, "t").has_value();
+        EXPECT_EQ(fa, fb) << "operation " << i;
+        fired += fa ? 1 : 0;
+    }
+    // ~50% firing rate, loosely bounded.
+    EXPECT_GT(fired, 50);
+    EXPECT_LT(fired, 150);
+
+    // A different seed produces a different pattern.
+    plan c = plan::parse("transfer%0.5;seed=43");
+    plan d = plan::parse(spec);
+    int diffs = 0;
+    for (int i = 0; i < 200; ++i)
+        diffs += c.check(op_kind::transfer, "t").has_value() !=
+                         d.check(op_kind::transfer, "t").has_value()
+                     ? 1
+                     : 0;
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultSpec, ResetRewindsCountersAndStreams) {
+    plan p = plan::parse("alloc@1;transfer%0.5;seed=7");
+    std::vector<bool> first;
+    for (int i = 0; i < 50; ++i) {
+        first.push_back(p.check(op_kind::alloc, "a").has_value());
+        first.push_back(p.check(op_kind::transfer, "t").has_value());
+    }
+    p.reset();
+    for (int i = 0, j = 0; i < 50; ++i) {
+        EXPECT_EQ(p.check(op_kind::alloc, "a").has_value(), first[j++]);
+        EXPECT_EQ(p.check(op_kind::transfer, "t").has_value(), first[j++]);
+    }
+}
+
+TEST(FaultSpec, RetryabilityByKind) {
+    EXPECT_TRUE(retryable(op_kind::alloc));
+    EXPECT_TRUE(retryable(op_kind::transfer));
+    EXPECT_TRUE(retryable(op_kind::device));
+    EXPECT_FALSE(retryable(op_kind::launch));
+    EXPECT_FALSE(retryable(op_kind::pipe));
+}
+
+}  // namespace
+}  // namespace altis::fault
