@@ -7,10 +7,13 @@
 //   ./examples/altis_run all --size 1 --device rtx_2080 --passes 3 --csv
 //   ./examples/altis_run kmeans --trace out.json --profile
 //   ./examples/altis_run all --inject 'alloc@2;seed=7'   # fault drill
+//   ./examples/altis_run all --sanitize error             # hazard/perf lint
 #include <algorithm>
 #include <iostream>
 #include <optional>
 
+#include "analyze/options.hpp"
+#include "analyze/recorder.hpp"
 #include "apps/common/app.hpp"
 #include "core/option_parser.hpp"
 #include "core/registry.hpp"
@@ -31,9 +34,12 @@ int main(int argc, char** argv) {
     opts.add_flag("list", "list registered applications and exit");
     trace::add_trace_options(opts);
     fault::add_fault_options(opts);
+    analyze::add_sanitize_options(opts);
 
+    analyze::options aopts;
     try {
         if (!opts.parse(argc, argv, std::cout)) return 0;
+        aopts = analyze::options::from(opts);
     } catch (const OptionError& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
@@ -97,6 +103,15 @@ int main(int argc, char** argv) {
     const trace::options topts = trace::options::from(opts);
     trace::session tsession("altis_run");
     trace::session::scope tscope(tsession);
+
+    // With --sanitize active, every queue the apps construct feeds the
+    // command graph of this recorder; the passes run after the loop.
+    std::optional<analyze::recorder> sanitizer;
+    std::optional<analyze::recorder::scope> sanitize_scope;
+    if (aopts.enabled()) {
+        sanitizer.emplace(aopts.lv);
+        sanitize_scope.emplace(*sanitizer);
+    }
 
     // Outcomes are recorded only when they carry information (injection
     // active, or an app actually failed/retried); a clean un-injected run
@@ -176,9 +191,29 @@ int main(int argc, char** argv) {
         db.dump_json(std::cout);
     else
         db.dump_summary(std::cout);
+
+    int sanitize_rc = 0;
+    if (sanitizer) {
+        sanitize_scope.reset();
+        analyze::span_sink sink;
+        if (topts.enabled())
+            sink = [&](const analyze::finding& f) {
+                const double t = tsession.last_end_ns();
+                trace::span s;
+                s.name = "sanitize " + f.rule + ": " + f.message;
+                s.start_ns = t;
+                s.end_ns = t;
+                s.status = trace::span_status::failed;
+                tsession.record(std::move(s));
+            };
+        sanitize_rc =
+            analyze::finish(*sanitizer, aopts, std::cout, std::cerr, sink);
+        if (sanitize_rc == 2) return 2;
+    }
     if (topts.enabled() &&
         !trace::finish_session(tsession, topts, tsession.last_end_ns(),
                                std::cout, std::cerr))
         return 2;
-    return failures == 0 ? 0 : 1;
+    if (failures != 0) return 1;
+    return sanitize_rc;
 }

@@ -1,0 +1,158 @@
+#include "analyze/findings.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/report.hpp"
+
+namespace altis::analyze {
+
+const char* to_string(severity s) {
+    switch (s) {
+        case severity::note: return "note";
+        case severity::warning: return "warning";
+        case severity::error: return "error";
+    }
+    return "?";
+}
+
+const std::vector<rule_info>& rule_catalog() {
+    static const std::vector<rule_info> catalog = {
+        {"ALS-H1", "conflicting concurrent access in dataflow group",
+         severity::error, "Fig. 3",
+         "synchronize the kernels through a pipe or split the group"},
+        {"ALS-H2", "host transfer overlaps un-waited kernel access",
+         severity::error, "Sec. 3.2",
+         "call queue::wait() before copying the buffer"},
+        {"ALS-H3", "accessor used after its command group completed",
+         severity::error, "Sec. 5.3",
+         "create the accessor inside the command group that uses it"},
+        {"ALS-H4", "USM use-after-free / invalid free", severity::error,
+         "Sec. 3.2.1",
+         "keep the allocation alive until the last kernel using it completed"},
+        {"ALS-P1", "pipe endpoint without a peer in its dataflow group",
+         severity::error, "Fig. 3",
+         "submit the matching reader/writer kernel before end_dataflow()"},
+        {"ALS-P2", "pipe feedback cycle with insufficient capacity",
+         severity::error, "Fig. 3",
+         "raise one pipe's capacity above its per-round volume or break the "
+         "cycle"},
+        {"ALS-P3", "pipe volume mismatch between producer and consumer",
+         severity::warning, "Fig. 3",
+         "make the total items written equal the total items read"},
+        {"ALS-L1", "pow() with a small constant integer exponent",
+         severity::warning, "Sec. 3.3",
+         "replace pow(x, n) with explicit multiplications (x * x)"},
+        {"ALS-L2", "work-group size not divisible by SIMD width",
+         severity::warning, "Sec. 5.2",
+         "pick a work-group size that is a multiple of num_simd_work_items"},
+        {"ALS-L3", "unroll factor unlikely to help", severity::warning,
+         "Sec. 5.2-5.3",
+         "drop the unroll or restructure the local-memory accesses first"},
+        {"ALS-L4", "library scan offloaded to an FPGA", severity::warning,
+         "Sec. 5.1",
+         "replace the oneDPL call with a custom Single-Task scan"},
+        {"ALS-L5", "redundant queue::wait() with no preceding work",
+         severity::warning, "Sec. 3.3",
+         "remove the extra synchronization"},
+        {"ALS-L6", "kernel does not fit the target device", severity::error,
+         "Sec. 4",
+         "reduce local arrays/unrolling or size local memory exactly"},
+    };
+    return catalog;
+}
+
+const rule_info& rule(const std::string& id) {
+    for (const rule_info& r : rule_catalog())
+        if (id == r.id) return r;
+    throw std::out_of_range("analyze: unknown rule id " + id);
+}
+
+finding make_finding(const std::string& id, std::string kernel,
+                     std::string object, std::string message) {
+    const rule_info& r = rule(id);
+    finding f;
+    f.rule = r.id;
+    f.sev = r.sev;
+    f.kernel = std::move(kernel);
+    f.object = std::move(object);
+    f.message = std::move(message);
+    f.fix_hint = r.fix_hint;
+    f.paper_ref = r.paper_ref;
+    return f;
+}
+
+void report::add(finding f) {
+    for (const finding& g : findings_)
+        if (g.rule == f.rule && g.kernel == f.kernel && g.object == f.object &&
+            g.message == f.message)
+            return;
+    findings_.push_back(std::move(f));
+}
+
+void report::merge(const report& other) {
+    for (const finding& f : other.findings_) add(f);
+}
+
+std::size_t report::count_at_least(severity s) const {
+    std::size_t n = 0;
+    for (const finding& f : findings_)
+        if (f.sev >= s) ++n;
+    return n;
+}
+
+void report::render_text(std::ostream& out) const {
+    if (findings_.empty()) {
+        out << "sanitize: no findings\n";
+        return;
+    }
+    out << "sanitize: " << findings_.size() << " finding"
+        << (findings_.size() == 1 ? "" : "s") << " ("
+        << count_at_least(severity::error) << " errors)\n";
+    Table t({"rule", "severity", "kernel", "object", "message", "paper"});
+    for (const finding& f : findings_)
+        t.add_row({f.rule, to_string(f.sev), f.kernel, f.object, f.message,
+                   f.paper_ref});
+    t.print(out);
+    for (const finding& f : findings_)
+        out << "  hint [" << f.rule << " " << f.kernel
+            << "]: " << f.fix_hint << "\n";
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+void report::render_json(std::ostream& out) const {
+    out << "[";
+    for (std::size_t i = 0; i < findings_.size(); ++i) {
+        const finding& f = findings_[i];
+        out << (i == 0 ? "" : ",") << "\n  {"
+            << "\"rule\": \"" << json_escape(f.rule) << "\", "
+            << "\"severity\": \"" << to_string(f.sev) << "\", "
+            << "\"kernel\": \"" << json_escape(f.kernel) << "\", "
+            << "\"object\": \"" << json_escape(f.object) << "\", "
+            << "\"message\": \"" << json_escape(f.message) << "\", "
+            << "\"fix_hint\": \"" << json_escape(f.fix_hint) << "\", "
+            << "\"paper_ref\": \"" << json_escape(f.paper_ref) << "\"}";
+    }
+    out << "\n]\n";
+}
+
+}  // namespace altis::analyze

@@ -1,0 +1,211 @@
+#include "analyze/hazard.hpp"
+
+#include <cstddef>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace altis::analyze {
+
+namespace {
+
+std::string range_str(const mem_access& a) {
+    std::ostringstream os;
+    os << a.base << "+" << a.bytes << "B";
+    return os.str();
+}
+
+const char* conflict_name(const mem_access& a, const mem_access& b) {
+    if (writes(a.mode) && writes(b.mode)) return "write/write";
+    return writes(a.mode) ? "write/read" : "read/write";
+}
+
+/// Union-find over the kernels of one dataflow group, connected when they
+/// share a pipe identity. Pipe-connected kernels are treated as internally
+/// synchronized (the channel sequences their rounds).
+class pipe_connectivity {
+public:
+    explicit pipe_connectivity(const std::vector<const node*>& kernels) {
+        parent_.resize(kernels.size());
+        for (std::size_t i = 0; i < parent_.size(); ++i) parent_[i] = i;
+        std::map<const void*, std::size_t> first_user;
+        for (std::size_t i = 0; i < kernels.size(); ++i)
+            for (const pipe_endpoint& p : kernels[i]->pipes) {
+                const auto [it, fresh] = first_user.emplace(p.pipe, i);
+                if (!fresh) unite(it->second, i);
+            }
+    }
+
+    [[nodiscard]] bool connected(std::size_t a, std::size_t b) {
+        return find(a) == find(b);
+    }
+
+private:
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+        return x;
+    }
+    void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+    std::vector<std::size_t> parent_;
+};
+
+void lint_group_conflicts(const command_graph& g, report& out) {
+    // Collect kernels per (queue, group).
+    std::map<std::pair<int, int>, std::vector<const node*>> groups;
+    for (const node& n : g.nodes)
+        if (n.kind == node_kind::kernel && !n.simulated && n.group >= 0)
+            groups[{n.queue, n.group}].push_back(&n);
+
+    for (const auto& [key, kernels] : groups) {
+        pipe_connectivity conn(kernels);
+        for (std::size_t i = 0; i < kernels.size(); ++i)
+            for (std::size_t j = i + 1; j < kernels.size(); ++j) {
+                if (conn.connected(i, j)) continue;
+                for (const mem_access& a : kernels[i]->accesses)
+                    for (const mem_access& b : kernels[j]->accesses) {
+                        if (!a.overlaps(b)) continue;
+                        if (!writes(a.mode) && !writes(b.mode)) continue;
+                        out.add(make_finding(
+                            "ALS-H1",
+                            kernels[i]->kernel + " & " + kernels[j]->kernel,
+                            range_str(a),
+                            std::string(conflict_name(a, b)) +
+                                " conflict between concurrent kernels with "
+                                "no pipe between them"));
+                    }
+            }
+    }
+}
+
+void lint_host_transfers(const command_graph& g, report& out) {
+    // Per queue: kernel accesses in flight since the last wait().
+    std::map<int, std::vector<std::pair<const node*, const mem_access*>>>
+        in_flight;
+    for (const node& n : g.nodes) {
+        if (n.simulated) continue;
+        switch (n.kind) {
+            case node_kind::kernel:
+                for (const mem_access& a : n.accesses)
+                    if (a.kind == mem_kind::buffer)
+                        in_flight[n.queue].emplace_back(&n, &a);
+                break;
+            case node_kind::wait:
+                in_flight[n.queue].clear();
+                break;
+            case node_kind::transfer_in:
+            case node_kind::transfer_out: {
+                const mem_access& t = n.accesses.front();
+                for (const auto& [k, a] : in_flight[n.queue]) {
+                    if (!t.overlaps(*a)) continue;
+                    // Host read needs the kernel's writes finished; a host
+                    // write additionally races with kernel reads.
+                    if (!writes(a->mode) && n.kind == node_kind::transfer_out)
+                        continue;
+                    out.add(make_finding(
+                        "ALS-H2", k->kernel, range_str(t),
+                        std::string(n.kind == node_kind::transfer_out
+                                        ? "host read of"
+                                        : "host write to") +
+                            " memory " + to_string(a->mode) + " by '" +
+                            k->kernel + "' with no wait() in between"));
+                }
+                break;
+            }
+            default: break;
+        }
+    }
+}
+
+void lint_usm(const command_graph& g, report& out) {
+    struct region {
+        const char* base;
+        std::size_t bytes;
+    };
+    std::vector<region> live;
+    std::vector<region> freed;
+
+    const auto contains = [](const region& r, const mem_access& a) {
+        const auto* p = static_cast<const char*>(a.base);
+        return p >= r.base && p + a.bytes <= r.base + r.bytes;
+    };
+    const auto touches = [](const region& r, const mem_access& a) {
+        const auto* p = static_cast<const char*>(a.base);
+        return p < r.base + r.bytes && r.base < p + a.bytes;
+    };
+
+    for (const node& n : g.nodes) {
+        if (n.simulated) continue;
+        if (n.kind == node_kind::usm_alloc) {
+            const mem_access& a = n.accesses.front();
+            live.push_back({static_cast<const char*>(a.base), a.bytes});
+            // A reused address shadows any older freed record.
+            std::erase_if(freed, [&](const region& r) {
+                return r.base == a.base;
+            });
+        } else if (n.kind == node_kind::usm_free) {
+            const void* base = n.accesses.front().base;
+            bool found = false;
+            for (std::size_t i = 0; i < live.size(); ++i)
+                if (live[i].base == base) {
+                    freed.push_back(live[i]);
+                    live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+                    found = true;
+                    break;
+                }
+            if (!found) {
+                std::ostringstream os;
+                os << base;
+                out.add(make_finding("ALS-H4", "usm_free", os.str(),
+                                     "free of a pointer that is not a live "
+                                     "USM allocation (double free?)"));
+            }
+        } else if (n.kind == node_kind::kernel) {
+            for (const mem_access& a : n.accesses) {
+                if (a.kind != mem_kind::usm) continue;
+                bool ok = false;
+                for (const region& r : live)
+                    if (contains(r, a)) ok = true;
+                if (ok) continue;
+                bool after_free = false;
+                for (const region& r : freed)
+                    if (touches(r, a)) after_free = true;
+                out.add(make_finding(
+                    "ALS-H4", n.kernel, range_str(a),
+                    after_free
+                        ? "kernel uses a USM range that was already freed"
+                        : "kernel uses a USM range with no live allocation"));
+            }
+        }
+    }
+}
+
+void lint_redundant_waits(const command_graph& g, report& out) {
+    std::map<int, std::size_t> work_since_wait;
+    for (const node& n : g.nodes) {
+        if (n.simulated) continue;
+        if (n.kind == node_kind::wait) {
+            if (work_since_wait[n.queue] == 0)
+                out.add(make_finding("ALS-L5", "wait",
+                                     "queue #" + std::to_string(n.queue),
+                                     "wait() with no commands submitted since "
+                                     "the previous synchronization"));
+            work_since_wait[n.queue] = 0;
+        } else if (n.kind != node_kind::usm_alloc &&
+                   n.kind != node_kind::usm_free) {
+            ++work_since_wait[n.queue];
+        }
+    }
+}
+
+}  // namespace
+
+void lint_hazards(const command_graph& g, report& out) {
+    lint_group_conflicts(g, out);
+    lint_host_transfers(g, out);
+    lint_usm(g, out);
+    lint_redundant_waits(g, out);
+}
+
+}  // namespace altis::analyze

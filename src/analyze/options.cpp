@@ -1,0 +1,56 @@
+#include "analyze/options.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "analyze/sanitize.hpp"
+#include "core/option_parser.hpp"
+
+namespace altis::analyze {
+
+void add_sanitize_options(OptionParser& opts) {
+    opts.add_option("sanitize", "",
+                    "lint the run's command graph: off | warn | error "
+                    "(default $ALTIS_SANITIZE)");
+    opts.add_option("sanitize-json", "", "write sanitize findings as JSON");
+}
+
+options options::from(const OptionParser& opts) {
+    options o;
+    std::string name = opts.get_string("sanitize");
+    if (name.empty())
+        if (const char* env = std::getenv("ALTIS_SANITIZE")) name = env;
+    if (name.empty() || name == "off")
+        o.lv = level::off;
+    else if (name == "warn")
+        o.lv = level::warn;
+    else if (name == "error")
+        o.lv = level::error;
+    else
+        throw OptionError("--sanitize: unknown level '" + name +
+                          "' (off | warn | error)");
+    o.json_path = opts.get_string("sanitize-json");
+    return o;
+}
+
+int finish(const recorder& rec, const options& opt, std::ostream& out,
+           std::ostream& err, const span_sink& sink) {
+    const report r = run_all(rec);
+    r.render_text(out);
+    if (sink)
+        for (const finding& f : r.findings()) sink(f);
+    if (!opt.json_path.empty()) {
+        std::ofstream f(opt.json_path);
+        if (!f) {
+            err << "error: cannot write " << opt.json_path << "\n";
+            return 2;
+        }
+        r.render_json(f);
+    }
+    return opt.lv == level::error && r.count_at_least(severity::warning) > 0
+               ? 1
+               : 0;
+}
+
+}  // namespace altis::analyze

@@ -1,0 +1,50 @@
+// Shared CLI/env wiring for the sanitizer, mirroring trace/options.hpp so
+// every harness binary behaves identically:
+//
+//   --sanitize <off|warn|error>   capture the command graph and lint it at
+//                                 exit; `error` turns any warning-or-worse
+//                                 finding into exit code 1 and refuses to
+//                                 launch dataflow groups with pipe errors.
+//                                 Defaults to $ALTIS_SANITIZE when set.
+//   --sanitize-json <file>        also write the findings as JSON.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "analyze/recorder.hpp"
+
+namespace altis {
+class OptionParser;
+}
+
+namespace altis::analyze {
+
+void add_sanitize_options(OptionParser& opts);
+
+struct options {
+    level lv = level::off;
+    std::string json_path;
+
+    [[nodiscard]] bool enabled() const { return lv != level::off; }
+    /// Reads --sanitize/--sanitize-json, falling back to $ALTIS_SANITIZE.
+    /// Throws OptionError on an unknown level name.
+    [[nodiscard]] static options from(const OptionParser& opts);
+};
+
+/// Callback the harness uses to mirror findings onto another sink (e.g.
+/// error-flagged trace spans) without analyze depending on the trace layer.
+using span_sink = std::function<void(const finding&)>;
+
+/// Runs the passes over `rec`, renders the findings to `out`, writes the
+/// JSON file when requested, and hands each finding to `sink` (the harness
+/// uses it to emit error-flagged trace spans) when provided. Returns the
+/// process exit code contribution: 1 when level is `error` and any
+/// warning-or-worse finding exists, 2 when the JSON file could not be
+/// written, else 0.
+[[nodiscard]] int finish(const recorder& rec, const options& opt,
+                         std::ostream& out, std::ostream& err,
+                         const span_sink& sink = {});
+
+}  // namespace altis::analyze

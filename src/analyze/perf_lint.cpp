@@ -1,0 +1,71 @@
+#include "analyze/perf_lint.hpp"
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "perf/resource_model.hpp"
+
+namespace altis::analyze {
+
+namespace {
+
+void lint_kernel(const perf::kernel_stats& k, const perf::device_spec* dev,
+                 report& out) {
+    if (k.pow_const_exp_ops > 0.0)
+        out.add(make_finding(
+            "ALS-L1", k.name, "pow()",
+            std::to_string(static_cast<long long>(k.pow_const_exp_ops)) +
+                " pow(x, const) calls per work-item expand to exp/log "
+                "sequences"));
+
+    if (dev == nullptr || !dev->is_fpga()) return;
+
+    if (k.simd > 1 && k.wg_size > 0.0 &&
+        std::fmod(k.wg_size, static_cast<double>(k.simd)) != 0.0)
+        out.add(make_finding(
+            "ALS-L2", k.name, "simd=" + std::to_string(k.simd),
+            "work-group size " +
+                std::to_string(static_cast<long long>(k.wg_size)) +
+                " is not a multiple of num_simd_work_items -- the attribute "
+                "is ignored"));
+
+    for (const perf::loop_info& l : k.loops)
+        if (l.unroll > 1 && l.trip_count > 0.0 &&
+            static_cast<double>(l.unroll) > l.trip_count)
+            out.add(make_finding(
+                "ALS-L3", k.name, l.name,
+                "unroll " + std::to_string(l.unroll) +
+                    " exceeds the loop's trip count (" +
+                    std::to_string(static_cast<long long>(l.trip_count)) +
+                    ")"));
+
+    // The fit verdict (placement limit, shell overhead) is only computed at
+    // design level; lint each kernel as a single-kernel design.
+    const perf::resource_usage ru =
+        perf::estimate_design_resources(std::span<const perf::kernel_stats>(&k, 1), *dev);
+    if (!ru.fits) {
+        out.add(make_finding("ALS-L6", k.name, dev->name,
+                             "does not fit: " + ru.failure_reason));
+        return;  // the fit failure dominates any tuning lint
+    }
+    if (k.unroll > 1 && k.pattern == perf::local_pattern::congested &&
+        !ru.timing_clean)
+        out.add(make_finding(
+            "ALS-L3", k.name, "unroll=" + std::to_string(k.unroll),
+            "unrolling multiplies arbitrated local-memory accesses on a "
+            "design that already misses timing closure"));
+    if (k.library)
+        out.add(make_finding("ALS-L4", k.name, dev->name,
+                             "GPU-shaped library call scheduled on an FPGA"));
+}
+
+}  // namespace
+
+void lint_descriptors(const command_graph& g, report& out) {
+    for (const node& n : g.nodes)
+        if (n.kind == node_kind::kernel && !n.stats.name.empty())
+            lint_kernel(n.stats, n.device, out);
+}
+
+}  // namespace altis::analyze

@@ -1,0 +1,28 @@
+// Descriptor-level performance linter: the paper's Sec. 3.3 / Sec. 5
+// micro-findings, re-applied as rules over perf::kernel_stats so the traps
+// the authors hit by measurement are flagged before anyone re-introduces
+// them. Applies to every kernel node that carries a descriptor -- both real
+// submissions and the analytic descriptors simulate_region records, so
+// `bench_fig* --sanitize` lints whole sweeps.
+//
+//   ALS-L1  pow() with a small constant integer exponent (PF Float's
+//           pow(a,2): 2x on GPUs, 6x on FPGAs -- Sec. 3.3).
+//   ALS-L2  FPGA kernel with num_simd_work_items not dividing the
+//           work-group size: the attribute is silently dropped (Sec. 5.2).
+//   ALS-L3  unroll factor that cannot help: larger than the loop's trip
+//           count, or multiplying congested local-memory arbitration on a
+//           design that already misses timing closure (Sec. 5.2, case 3).
+//   ALS-L4  library scan on an FPGA: oneDPL's GPU-shaped scan is the
+//           paper's motivation for the custom Single-Task scan (Sec. 5.1).
+//   ALS-L6  kernel fails perf::resource_model fitting on its FPGA
+//           (Sec. 4's 16 KiB-per-dynamic-accessor trap).
+#pragma once
+
+#include "analyze/findings.hpp"
+#include "analyze/graph.hpp"
+
+namespace altis::analyze {
+
+void lint_descriptors(const command_graph& g, report& out);
+
+}  // namespace altis::analyze

@@ -1,0 +1,147 @@
+#include "analyze/pipes.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace altis::analyze {
+
+namespace {
+
+struct pipe_use {
+    std::string name;
+    std::size_t capacity = 0;
+    std::vector<std::pair<const node*, const pipe_endpoint*>> writers;
+    std::vector<std::pair<const node*, const pipe_endpoint*>> readers;
+};
+
+void lint_peers_and_volumes(const std::map<const void*, pipe_use>& pipes,
+                            report& out) {
+    for (const auto& [id, use] : pipes) {
+        if (use.writers.empty())
+            for (const auto& [k, e] : use.readers)
+                out.add(make_finding("ALS-P1", k->kernel, use.name,
+                                     "kernel reads pipe '" + use.name +
+                                         "' but no kernel in the group "
+                                         "writes it"));
+        if (use.readers.empty())
+            for (const auto& [k, e] : use.writers)
+                out.add(make_finding("ALS-P1", k->kernel, use.name,
+                                     "kernel writes pipe '" + use.name +
+                                         "' but no kernel in the group "
+                                         "reads it"));
+        if (use.writers.empty() || use.readers.empty()) continue;
+
+        double written = 0.0, read = 0.0;
+        bool known = true;
+        for (const auto& [k, e] : use.writers) {
+            if (e->items_per_round <= 0.0) known = false;
+            written += e->total_items();
+        }
+        for (const auto& [k, e] : use.readers) {
+            if (e->items_per_round <= 0.0) known = false;
+            read += e->total_items();
+        }
+        if (known && std::abs(written - read) > 1e-9)
+            out.add(make_finding(
+                "ALS-P3",
+                use.writers.front().first->kernel + " & " +
+                    use.readers.front().first->kernel,
+                use.name,
+                "producers write " + std::to_string(written) +
+                    " items but consumers read " + std::to_string(read)));
+    }
+}
+
+/// ALS-P2: cycle detection restricted to "overflowing" edges (per-round
+/// volume exceeds capacity). A cycle that survives the restriction has no
+/// pipe able to buffer a round, so the group cannot make progress.
+void lint_capacity_cycles(const std::vector<node>& kernels,
+                          const std::map<const void*, pipe_use>& pipes,
+                          report& out) {
+    std::map<const node*, std::size_t> index;
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        index.emplace(&kernels[i], i);
+
+    struct edge {
+        std::size_t to;
+        const pipe_use* pipe;
+        double items = 0.0;
+    };
+    std::vector<std::vector<edge>> adj(kernels.size());
+    for (const auto& [id, use] : pipes)
+        for (const auto& [wk, we] : use.writers)
+            for (const auto& [rk, re] : use.readers) {
+                if (we->items_per_round <= 0.0) continue;
+                if (we->items_per_round <=
+                    static_cast<double>(use.capacity))
+                    continue;  // this pipe can buffer a full round
+                adj[index.at(wk)].push_back(
+                    {index.at(rk), &use, we->items_per_round});
+            }
+
+    // Recursive DFS cycle detection (groups hold a handful of kernels).
+    enum class color { white, grey, black };
+    std::vector<color> c(kernels.size(), color::white);
+    std::vector<std::size_t> path;
+    const std::function<const edge*(std::size_t)> visit =
+        [&](std::size_t v) -> const edge* {
+        c[v] = color::grey;
+        path.push_back(v);
+        for (const edge& e : adj[v]) {
+            if (c[e.to] == color::grey) return &e;
+            if (c[e.to] == color::white)
+                if (const edge* found = visit(e.to)) return found;
+        }
+        path.pop_back();
+        c[v] = color::black;
+        return nullptr;
+    };
+    for (std::size_t root = 0; root < kernels.size(); ++root) {
+        if (c[root] != color::white) continue;
+        path.clear();
+        const edge* cyc = visit(root);
+        if (cyc == nullptr) continue;
+        std::string names;
+        for (const std::size_t p : path)
+            names += (names.empty() ? "" : " -> ") + kernels[p].kernel;
+        out.add(make_finding(
+            "ALS-P2", names, cyc->pipe->name,
+            "feedback cycle in which every pipe's per-round volume exceeds "
+            "its capacity (e.g. '" +
+                cyc->pipe->name + "': " + std::to_string(cyc->items) +
+                " items/round > capacity " +
+                std::to_string(cyc->pipe->capacity) + ")"));
+        return;  // one finding per group is enough
+    }
+}
+
+}  // namespace
+
+void lint_pipe_group(const std::vector<node>& kernels, report& out) {
+    std::map<const void*, pipe_use> pipes;
+    for (const node& n : kernels)
+        for (const pipe_endpoint& e : n.pipes) {
+            pipe_use& u = pipes[e.pipe];
+            u.name = e.name;
+            u.capacity = e.capacity;
+            (e.dir == pipe_dir::write ? u.writers : u.readers)
+                .emplace_back(&n, &e);
+        }
+    if (pipes.empty()) return;
+    lint_peers_and_volumes(pipes, out);
+    lint_capacity_cycles(kernels, pipes, out);
+}
+
+void lint_pipes(const command_graph& g, report& out) {
+    std::map<std::pair<int, int>, std::vector<node>> groups;
+    for (const node& n : g.nodes)
+        if (n.kind == node_kind::kernel && !n.simulated && n.group >= 0)
+            groups[{n.queue, n.group}].push_back(n);
+    for (const auto& [key, kernels] : groups) lint_pipe_group(kernels, out);
+}
+
+}  // namespace altis::analyze

@@ -1,0 +1,36 @@
+// Static pipe-topology linter for dataflow groups (Fig. 3), run before the
+// group's worker threads launch (complementing the runtime deadlock
+// watchdog from PR 2, which can only report after the timeout fired).
+//
+//   ALS-P1  an endpoint with no peer: somebody reads (writes) a pipe that no
+//           group member writes (reads) -- the guaranteed-deadlock shape the
+//           watchdog otherwise catches at runtime.
+//   ALS-P2  a feedback cycle in the writer->reader graph in which *every*
+//           pipe's per-round volume exceeds its capacity: no stage can
+//           finish a round before its downstream drains, and nothing around
+//           the cycle has room to buffer a whole round (SDF-style buffer
+//           sufficiency). One adequately sized pipe anywhere on the cycle --
+//           kmeans' 1024-deep center feedback -- makes the loop feasible.
+//   ALS-P3  producers and consumers of a pipe declare different total item
+//           counts: the group finishes only if someone blocks forever or
+//           data is left in flight.
+//
+// Volumes come from handler::reads_pipe/writes_pipe declarations; endpoints
+// without declared volumes (items_per_round == 0) only participate in the
+// P1 peer check.
+#pragma once
+
+#include <vector>
+
+#include "analyze/findings.hpp"
+#include "analyze/graph.hpp"
+
+namespace altis::analyze {
+
+/// Lints the kernels of one dataflow group.
+void lint_pipe_group(const std::vector<node>& kernels, report& out);
+
+/// Lints every dataflow group in the graph.
+void lint_pipes(const command_graph& g, report& out);
+
+}  // namespace altis::analyze

@@ -1,0 +1,35 @@
+// Runtime probe for accessor-lifetime checking (rule ALS-H3: the
+// particlefilter bug class PR 2 fixed -- an accessor captured by reference
+// outliving its command group). This header is included by the syclite
+// buffer, so it must stay dependency-free and the hot path must be cheap:
+// an accessor created outside a sanitize session carries a null token and
+// pays a single predictable branch per element access.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace altis::analyze::probe {
+
+/// Lifetime tag of one command group. Tokens live in a process-lifetime
+/// arena (stable addresses), so a stale accessor's token pointer is always
+/// safe to read even after the recorder that created it is gone.
+struct cg_token {
+    std::atomic<bool> retired{false};
+    std::uint64_t id = 0;
+};
+
+/// Allocates a token for command group `id` from the arena.
+[[nodiscard]] cg_token* new_token(std::uint64_t id);
+
+/// Slow path: reports the stale use to the current recorder (deduplicated
+/// per (command group, base pointer)). No-op when no recorder is active.
+void on_stale_use(const cg_token* token, const void* base);
+
+/// Hot-path check, called from accessor::operator[] when a token is bound:
+/// one relaxed atomic load; the report only happens on an actual violation.
+inline void accessor_use(const cg_token* token, const void* base) {
+    if (token->retired.load(std::memory_order_relaxed)) on_stale_use(token, base);
+}
+
+}  // namespace altis::analyze::probe

@@ -1,0 +1,105 @@
+// The recorder is the capture side of altis::sanitize: a process-wide sink
+// (mirroring trace::session's current()/scope wiring) that the syclite queue
+// and the region simulator feed command-graph nodes into. Capture is
+// thread-safe -- dataflow kernels retire their command groups from worker
+// threads -- and entirely passive: with no recorder current, the runtime
+// behaves (and times) exactly as before the analyzer existed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analyze/findings.hpp"
+#include "analyze/graph.hpp"
+#include "analyze/probe.hpp"
+
+namespace altis::analyze {
+
+/// Enforcement level of a sanitize session (the --sanitize flag).
+enum class level { off, warn, error };
+
+[[nodiscard]] const char* to_string(level lv);
+
+class recorder {
+public:
+    explicit recorder(level lv = level::warn) : level_(lv) {}
+
+    [[nodiscard]] level enforcement() const { return level_; }
+
+    // ---- capture API (called by syclite / simulate_region) ----
+
+    /// Registers a queue; nodes carry the returned ordinal so the passes
+    /// never correlate commands across unrelated queues.
+    int register_queue(const perf::device_spec& dev);
+
+    struct cg_handle {
+        std::uint64_t id = 0;
+        probe::cg_token* token = nullptr;
+    };
+    /// Opens a command group: assigns the next id and a live lifetime token
+    /// for the accessors the group hands out.
+    cg_handle begin_command_group();
+    /// Marks the group's accessors stale (kernel finished or group dropped).
+    void retire(std::uint64_t cg);
+
+    /// Opens a dataflow group; members record the returned id.
+    int begin_group();
+
+    void add_node(node n);
+    void record_wait(int queue);
+    void record_transfer(int queue, node_kind kind, const void* base,
+                         std::size_t bytes);
+    void record_usm_alloc(const void* base, std::size_t bytes);
+    void record_usm_free(const void* base);
+    /// Analytic descriptor from simulate_region: perf-lint rules only.
+    void record_simulated_kernel(const perf::kernel_stats& stats,
+                                 const perf::device_spec& dev);
+
+    /// Runtime finding (ALS-H3 from the probe, pre-launch gate findings).
+    void add_finding(finding f);
+    /// Called by probe::on_stale_use; resolves the creating kernel's name
+    /// and files an ALS-H3 finding once per (group, base).
+    void stale_accessor_use(std::uint64_t cg, const void* base);
+
+    // ---- analysis-side API ----
+
+    [[nodiscard]] const command_graph& graph() const { return graph_; }
+    /// Kernel nodes of one dataflow group (used by the pre-launch gate).
+    [[nodiscard]] std::vector<node> group_nodes(int group) const;
+    /// Findings raised during capture (merged into the final report).
+    [[nodiscard]] const report& runtime_findings() const { return runtime_; }
+
+    // ---- process-wide current recorder ----
+    [[nodiscard]] static recorder* current();
+    static void set_current(recorder* r);
+
+    class scope {
+    public:
+        explicit scope(recorder& r) : prev_(current()) { set_current(&r); }
+        ~scope() { set_current(prev_); }
+        scope(const scope&) = delete;
+        scope& operator=(const scope&) = delete;
+
+    private:
+        recorder* prev_;
+    };
+
+private:
+    level level_;
+    mutable std::mutex mu_;
+    command_graph graph_;
+    report runtime_;
+    int next_queue_ = 0;
+    int next_group_ = 0;
+    std::uint64_t next_cg_ = 1;
+    std::unordered_map<std::uint64_t, probe::cg_token*> live_tokens_;
+    std::unordered_map<std::uint64_t, std::string> cg_kernel_;
+    /// (cg, base) pairs already reported by the probe (dedup).
+    std::vector<std::pair<std::uint64_t, const void*>> stale_reported_;
+};
+
+}  // namespace altis::analyze

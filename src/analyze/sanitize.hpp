@@ -1,0 +1,42 @@
+// Umbrella for altis::sanitize: run every pass over a recorded command
+// graph. See docs/SANITIZER.md for the rule catalog.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "analyze/findings.hpp"
+#include "analyze/graph.hpp"
+#include "analyze/hazard.hpp"
+#include "analyze/perf_lint.hpp"
+#include "analyze/pipes.hpp"
+#include "analyze/recorder.hpp"
+
+namespace altis::analyze {
+
+/// Thrown when --sanitize=error refuses to launch a doomed dataflow group
+/// (pre-launch pipe gate in syclite::queue::end_dataflow).
+class sanitize_error : public std::runtime_error {
+public:
+    explicit sanitize_error(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+/// Runs hazard, pipe and descriptor lints over the graph.
+[[nodiscard]] inline report run_all(const command_graph& g) {
+    report r;
+    lint_hazards(g, r);
+    lint_pipes(g, r);
+    lint_descriptors(g, r);
+    return r;
+}
+
+/// Static passes plus the findings captured at runtime (ALS-H3 probe hits,
+/// pre-launch gate reports).
+[[nodiscard]] inline report run_all(const recorder& rec) {
+    report r = run_all(rec.graph());
+    r.merge(rec.runtime_findings());
+    return r;
+}
+
+}  // namespace altis::analyze

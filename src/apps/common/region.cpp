@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analyze/recorder.hpp"
 #include "fault/inject.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
@@ -65,6 +66,14 @@ timing_estimate simulate_region(const timed_region& region,
         if (trace != nullptr) trace->record(std::move(s));
     };
 
+    // The analytic path has no queue to capture, but the perf-lint rules
+    // only need the descriptors: hand each one to the current recorder (if
+    // any) at the same spot where its cost is charged.
+    auto* sanitize = analyze::recorder::current();
+    auto record_stats = [&](const perf::kernel_stats& k) {
+        if (sanitize != nullptr) sanitize->record_simulated_kernel(k, dev);
+    };
+
     // The analytic path has no real queue/buffers/pipes, so the fault plan's
     // checkpoints live here instead: the same op kinds fire at the
     // equivalent spots of the simulated schedule (device at region entry,
@@ -88,6 +97,7 @@ timing_estimate simulate_region(const timed_region& region,
 
         for (const auto& slot : region.kernels) {
             fault::maybe_inject(fault::op_kind::launch, slot.stats.name);
+            record_stats(slot.stats);
             const double per = one_kernel_ns(slot.stats);
             t.kernel_ns += per * slot.count;
             t.non_kernel_ns += launch * slot.count;
@@ -116,8 +126,10 @@ timing_estimate simulate_region(const timed_region& region,
                 throw syclite::dataflow_error(msg, std::move(stalled));
             }
             double worst = 0.0;
-            for (const auto& k : group.kernels)
+            for (const auto& k : group.kernels) {
+                record_stats(k);
                 worst = std::max(worst, one_kernel_ns(k));
+            }
             t.kernel_ns += worst * group.count;
             const double group_launch = launch * group.count *
                                         static_cast<double>(group.kernels.size());

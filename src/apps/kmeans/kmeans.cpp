@@ -223,6 +223,11 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
         const params cp = p;
         auto* mp = &map_pipe;
         auto* fb = &center_pipe;
+        // Declared steady-state volumes for the sanitizer's pipe lint: each
+        // iteration streams n mappings out and k*d center floats back. The
+        // feedback cycle is feasible because center_pipe holds a full round.
+        h.writes_pipe(map_pipe, static_cast<double>(p.n), p.iterations);
+        h.reads_pipe(center_pipe, static_cast<double>(p.k * p.d), p.iterations);
         h.single_task(detail::stats_map_st(p, dev), [=]() {
             std::vector<float> cur(cp.k * cp.d);
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr[x];
@@ -246,6 +251,8 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
         const params cp = p;
         auto* mp = &map_pipe;
         auto* fb = &center_pipe;
+        h.reads_pipe(map_pipe, static_cast<double>(p.n), p.iterations);
+        h.writes_pipe(center_pipe, static_cast<double>(p.k * p.d), p.iterations);
         h.single_task(detail::stats_resetaccfin_st(p, dev), [=]() {
             std::vector<float> cur(cp.k * cp.d);
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr[x];

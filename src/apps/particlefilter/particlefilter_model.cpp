@@ -42,8 +42,10 @@ perf::kernel_stats stats_propagate(const params& p, flavor f, Variant v,
     // The original CUDA PF Float calls pow(a,2)/pow(b,2) per disk point.
     // General powf expands to an exp/log sequence of ~140 FP-op equivalents,
     // which is the whole 6x of Sec. 3.3; DPCT's a*a is one multiply.
-    if (f == flavor::floatopt && v == Variant::cuda && !cuda_pow_fixed)
+    if (f == flavor::floatopt && v == Variant::cuda && !cuda_pow_fixed) {
         k.fp32_ops += 2.0 * kDiskPoints * 140.0;
+        k.pow_const_exp_ops = 2.0 * kDiskPoints;  // lint rule ALS-L1
+    }
     k.int_ops = 30.0 + kDiskPoints * 4.0;
     k.bytes_read = kDiskPoints * 1.0 + 12.0;
     k.bytes_written = 12.0;

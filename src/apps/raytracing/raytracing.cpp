@@ -110,7 +110,12 @@ bool hit_sphere(const sphere& s, const ray& r, float tmin, float tmax,
 float schlick(float cosine, float ref_idx) {
     float r0 = (1.0f - ref_idx) / (1.0f + ref_idx);
     r0 = r0 * r0;
-    return r0 + (1.0f - r0) * std::pow(1.0f - cosine, 5.0f);
+    // (1-cos)^5 as a multiply chain: pow() with a small constant integer
+    // exponent expands to an exp/log sequence (Sec. 3.3's 2-6x trap, lint
+    // rule ALS-L1).
+    const float m = 1.0f - cosine;
+    const float m2 = m * m;
+    return r0 + (1.0f - r0) * (m2 * m2 * m);
 }
 
 bool refract(vec3 v, vec3 n, float ni_over_nt, vec3& refracted) {

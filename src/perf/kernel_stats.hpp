@@ -111,6 +111,16 @@ struct kernel_stats {
     bool reads_pipe = false;
     bool writes_pipe = false;
 
+    // ---- code-pattern annotations ----
+    // Consumed by the altis::analyze linter only; inert to the perf models
+    // (their cost, if any, is already folded into the op counts above).
+    /// pow()/powf() calls with a small constant integer exponent, per
+    /// work-item: PF Float's pow(a,2) pattern (Sec. 3.3, 2x GPU / 6x FPGA).
+    double pow_const_exp_ops = 0.0;
+    /// Kernel is an opaque library call (oneDPL/oneMKL), not app code; the
+    /// linter flags GPU-shaped library scans scheduled on FPGAs (Sec. 5.1).
+    bool library = false;
+
     // ---- derived totals ----
     [[nodiscard]] double total_fp32() const { return fp32_ops * global_items; }
     [[nodiscard]] double total_fp64() const { return fp64_ops * global_items; }

@@ -79,6 +79,7 @@ void exclusive_scan_fpga_custom(std::span<const int> results,
 perf::kernel_stats stats_scan_cuda(std::size_t n) {
     perf::kernel_stats k;
     k.name = "scan_cub";
+    k.library = true;  // opaque CUB call (only ever scheduled on GPUs)
     k.form = perf::kernel_form::nd_range;
     k.global_items = static_cast<double>(n);
     k.wg_size = 256;
@@ -96,6 +97,7 @@ perf::kernel_stats stats_scan_cuda(std::size_t n) {
 perf::kernel_stats stats_scan_onedpl(std::size_t n) {
     perf::kernel_stats k = stats_scan_cuda(n);
     k.name = "scan_onedpl";
+    k.library = true;  // opaque oneDPL call; lint rule ALS-L4 on FPGAs
     // Three-phase scan without decoupled lookback: ~3 passes plus extra
     // bookkeeping -- calibrated to the paper's "50% slower than CUDA's".
     k.int_ops = 10.0;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "analyze/probe.hpp"
 #include "fault/inject.hpp"
 
 namespace syclite {
@@ -23,6 +24,10 @@ namespace detail {
 /// Global switch for access counting; off by default (hot-path cost is one
 /// predictable branch). Enable via scoped_access_counting in tests.
 inline std::atomic<bool> counting_enabled{false};
+/// Nesting depth of scoped_access_counting enablers: counting stays on until
+/// the outermost scope closes, so nested helpers cannot switch a caller's
+/// counting off behind its back.
+inline std::atomic<int> counting_depth{0};
 
 struct access_counter {
     std::atomic<std::uint64_t> accesses{0};
@@ -30,11 +35,18 @@ struct access_counter {
 
 }  // namespace detail
 
-/// RAII enabler for accessor access-counting.
+/// RAII enabler for accessor access-counting. Scopes may nest (and may sit
+/// on different threads); counting is on while at least one scope is alive.
 class scoped_access_counting {
 public:
-    scoped_access_counting() { detail::counting_enabled.store(true); }
-    ~scoped_access_counting() { detail::counting_enabled.store(false); }
+    scoped_access_counting() {
+        if (detail::counting_depth.fetch_add(1) == 0)
+            detail::counting_enabled.store(true);
+    }
+    ~scoped_access_counting() {
+        if (detail::counting_depth.fetch_sub(1) == 1)
+            detail::counting_enabled.store(false);
+    }
     scoped_access_counting(const scoped_access_counting&) = delete;
     scoped_access_counting& operator=(const scoped_access_counting&) = delete;
 };
@@ -44,9 +56,14 @@ inline constexpr use_host_ptr_t use_host_ptr{};
 
 template <typename T>
 class buffer;
+class handler;
 
 /// Lightweight view into a buffer, handed out by handler::get_access.
-/// Copyable into kernels by value, like a SYCL accessor.
+/// Copyable into kernels by value, like a SYCL accessor. Under an active
+/// sanitize session the handler binds the command group's lifetime token,
+/// and every element access probes it (rule ALS-H3: an accessor must not
+/// outlive its command group); without a session the token is null and the
+/// probe is a single never-taken branch.
 template <typename T>
 class accessor {
 public:
@@ -56,6 +73,7 @@ public:
         if (detail::counting_enabled.load(std::memory_order_relaxed) &&
             counter_ != nullptr)
             counter_->accesses.fetch_add(1, std::memory_order_relaxed);
+        if (token_ != nullptr) altis::analyze::probe::accessor_use(token_, ptr_);
         return ptr_[i];
     }
 
@@ -65,14 +83,20 @@ public:
 
 private:
     friend class buffer<T>;
+    friend class handler;
     accessor(T* ptr, std::size_t count, access_mode mode,
              detail::access_counter* counter)
         : ptr_(ptr), count_(count), mode_(mode), counter_(counter) {}
+
+    void bind_lifetime(const altis::analyze::probe::cg_token* token) {
+        token_ = token;
+    }
 
     T* ptr_ = nullptr;
     std::size_t count_ = 0;
     access_mode mode_ = access_mode::read_write;
     detail::access_counter* counter_ = nullptr;
+    const altis::analyze::probe::cg_token* token_ = nullptr;
 };
 
 namespace detail {

@@ -7,7 +7,10 @@
 
 #include <functional>
 #include <utility>
+#include <vector>
 
+#include "analyze/graph.hpp"
+#include "analyze/recorder.hpp"
 #include "perf/kernel_stats.hpp"
 #include "sycl/buffer.hpp"
 #include "sycl/range.hpp"
@@ -16,14 +19,63 @@
 namespace syclite {
 
 namespace perf = altis::perf;
+namespace analyze = altis::analyze;
 
 class queue;
+
+namespace detail {
+
+[[nodiscard]] constexpr analyze::access to_analyze(access_mode m) {
+    switch (m) {
+        case access_mode::read: return analyze::access::read;
+        case access_mode::write: return analyze::access::write;
+        case access_mode::read_write: return analyze::access::read_write;
+        case access_mode::discard_write: return analyze::access::discard_write;
+    }
+    return analyze::access::read_write;
+}
+
+}  // namespace detail
 
 class handler {
 public:
     template <typename T>
     [[nodiscard]] accessor<T> get_access(buffer<T>& buf, access_mode mode) {
-        return buf.access(mode);
+        accessor<T> acc = buf.access(mode);
+        if (recorder_ != nullptr) {
+            accesses_.push_back({buf.host_data(), buf.byte_size(),
+                                 detail::to_analyze(mode),
+                                 analyze::mem_kind::buffer});
+            acc.bind_lifetime(cg_.token);
+        }
+        return acc;
+    }
+
+    /// Declares a pipe endpoint for the sanitizer's topology/capacity lint
+    /// (ALS-P1..P3): this kernel reads (writes) `items_per_round` items per
+    /// steady-state round, `rounds` times. Declarations are free when no
+    /// sanitize session is active and never affect execution or timing.
+    template <typename PipeT>
+    void reads_pipe(const PipeT& p, double items_per_round = 0.0,
+                    double rounds = 1.0) {
+        declare_pipe(&p, p.name(), p.capacity(), analyze::pipe_dir::read,
+                     items_per_round, rounds);
+    }
+    template <typename PipeT>
+    void writes_pipe(const PipeT& p, double items_per_round = 0.0,
+                     double rounds = 1.0) {
+        declare_pipe(&p, p.name(), p.capacity(), analyze::pipe_dir::write,
+                     items_per_round, rounds);
+    }
+
+    /// Declares a USM range the kernel dereferences (the sanitizer's
+    /// use-after-free lint, ALS-H4). USM pointers are raw, so the runtime
+    /// cannot observe them the way it observes accessors -- kernels using
+    /// USM declare their ranges here.
+    void uses_usm(const void* ptr, std::size_t bytes, access_mode mode) {
+        if (recorder_ == nullptr) return;
+        accesses_.push_back(
+            {ptr, bytes, detail::to_analyze(mode), analyze::mem_kind::usm});
     }
 
     /// FPGA Single-Task kernel (Sec. 5.3): f takes no arguments.
@@ -98,6 +150,22 @@ public:
 private:
     friend class queue;
 
+    /// Called by queue::submit before the command-group function runs when a
+    /// sanitize recorder is active: opens a command group (assigning the
+    /// accessor-lifetime token) so everything the group requests is captured.
+    void begin_capture(analyze::recorder* rec) {
+        recorder_ = rec;
+        if (recorder_ != nullptr) cg_ = recorder_->begin_command_group();
+    }
+
+    void declare_pipe(const void* pipe, std::string name, std::size_t capacity,
+                      analyze::pipe_dir dir, double items_per_round,
+                      double rounds) {
+        if (recorder_ == nullptr) return;
+        pipes_.push_back({pipe, std::move(name), capacity, dir,
+                          items_per_round, rounds});
+    }
+
     void set_kernel(perf::kernel_stats stats,
                     std::function<void(thread_pool&)> exec) {
         if (has_kernel_)
@@ -111,6 +179,11 @@ private:
     perf::kernel_stats stats_;
     std::function<void(thread_pool&)> exec_;
     bool has_kernel_ = false;
+
+    analyze::recorder* recorder_ = nullptr;
+    analyze::recorder::cg_handle cg_;
+    std::vector<analyze::mem_access> accesses_;
+    std::vector<analyze::pipe_endpoint> pipes_;
 };
 
 }  // namespace syclite

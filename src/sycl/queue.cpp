@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analyze/pipes.hpp"
+#include "analyze/sanitize.hpp"
 #include "fault/inject.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
@@ -13,14 +15,30 @@ namespace syclite {
 
 namespace fault = altis::fault;
 
+namespace {
+
+/// Retires a command group's accessor-lifetime token on every exit path of
+/// the owning scope (success, injected fault, app exception).
+struct retire_guard {
+    analyze::recorder* rec;
+    std::uint64_t cg;
+    ~retire_guard() {
+        if (rec != nullptr && cg != 0) rec->retire(cg);
+    }
+};
+
+}  // namespace
+
 queue::queue(const perf::device_spec& dev, perf::runtime_kind rt,
              async_handler handler)
     : dev_(dev), rt_(rt), trace_(trace::session::current()),
-      handler_(std::move(handler)) {
+      handler_(std::move(handler)),
+      recorder_(analyze::recorder::current()) {
     if (trace_ != nullptr) {
         if (trace_->device() == nullptr) trace_->bind_device(dev_);
         trace_base_ns_ = trace_->last_end_ns();
     }
+    if (recorder_ != nullptr) queue_id_ = recorder_->register_queue(dev_);
     // Device acquisition is an injection point: a fault plan can make this
     // device intermittently unavailable (oneAPI enumeration failures).
     try {
@@ -40,6 +58,16 @@ queue::~queue() {
     // Abandoning a dataflow group would leak blocked threads; join them.
     for (auto& t : pending_threads_)
         if (t.joinable()) t.join();
+    for (const pending_work& w : pending_work_)
+        if (recorder_ != nullptr && w.cg != 0) recorder_->retire(w.cg);
+}
+
+void queue::record_transfer_node(bool to_device, const void* base,
+                                 std::size_t bytes) {
+    recorder_->record_transfer(queue_id_,
+                               to_device ? analyze::node_kind::transfer_in
+                                         : analyze::node_kind::transfer_out,
+                               base, bytes);
 }
 
 void queue::record_error_span(const std::string& label) {
@@ -69,38 +97,37 @@ event queue::record(const perf::kernel_stats& stats, double duration_ns) {
 }
 
 event queue::finish_submit(handler&& h) {
-    if (!h.has_kernel()) return event(sim_now_ns_, sim_now_ns_, sim_now_ns_);
+    if (!h.has_kernel()) {
+        // An empty command group still handed out accessors; their lifetime
+        // ends here.
+        retire_guard retire{recorder_, h.cg_.id};
+        return event(sim_now_ns_, sim_now_ns_, sim_now_ns_);
+    }
+
+    if (recorder_ != nullptr) {
+        analyze::node n;
+        n.kind = analyze::node_kind::kernel;
+        n.cg = h.cg_.id;
+        n.kernel = h.stats().name;
+        n.queue = queue_id_;
+        n.group = in_dataflow_ ? current_group_ : -1;
+        n.accesses = std::move(h.accesses_);
+        n.pipes = std::move(h.pipes_);
+        n.stats = h.stats();
+        n.device = &dev_;
+        recorder_->add_node(std::move(n));
+    }
 
     if (in_dataflow_) {
-        const std::size_t index = pending_threads_.size();
+        // Deferred: the worker thread starts at end_dataflow(), once the
+        // whole group is known (see pending_work in the header).
         pending_stats_.push_back(h.stats());
-        pending_threads_.emplace_back(
-            [this, index, name = h.stats().name,
-             exec = std::move(h.exec_)]() mutable {
-                worker_error we;
-                we.index = index;
-                we.kernel = name;
-                try {
-                    fault::maybe_inject(fault::op_kind::launch, name,
-                                        "kernel launch failed");
-                    exec(thread_pool::global());
-                    return;
-                } catch (const pipe_deadlock& pd) {
-                    // Watchdog: a pipe timeout means this kernel was wedged
-                    // waiting for its peer; end_dataflow() merges these into
-                    // one structured dataflow_error.
-                    we.error = std::current_exception();
-                    we.pipe_blocked = true;
-                    we.detail = pd.what();
-                } catch (...) {
-                    we.error = std::current_exception();
-                }
-                std::lock_guard lock(worker_errors_mutex_);
-                worker_errors_.push_back(std::move(we));
-            });
+        pending_work_.push_back({pending_work_.size(), h.cg_.id,
+                                 h.stats().name, std::move(h.exec_)});
         return event();  // timestamps assigned at end_dataflow()
     }
 
+    retire_guard retire{recorder_, h.cg_.id};
     try {
         fault::maybe_inject(fault::op_kind::launch, h.stats().name,
                             "kernel launch failed");
@@ -130,19 +157,63 @@ void queue::set_design(const std::vector<perf::kernel_stats>& design_kernels) {
         perf::estimate_design_resources(design_kernels, dev_).fmax_mhz;
 }
 
+void queue::set_recorder(analyze::recorder* r) {
+    recorder_ = r;
+    queue_id_ = r != nullptr ? r->register_queue(dev_) : -1;
+}
+
 void queue::begin_dataflow() {
     if (in_dataflow_)
         throw std::logic_error("queue: dataflow groups cannot nest");
     in_dataflow_ = true;
+    if (recorder_ != nullptr) current_group_ = recorder_->begin_group();
 }
 
 void queue::abort_dataflow() noexcept {
     for (auto& t : pending_threads_)
         if (t.joinable()) t.join();
     pending_threads_.clear();
+    // Deferred kernels that never started: drop them, ending the lifetime of
+    // any accessor their command groups handed out.
+    for (const pending_work& w : pending_work_)
+        if (recorder_ != nullptr && w.cg != 0) recorder_->retire(w.cg);
+    pending_work_.clear();
     pending_stats_.clear();
     worker_errors_.clear();
     in_dataflow_ = false;
+    current_group_ = -1;
+}
+
+void queue::launch_dataflow_workers() {
+    pending_threads_.reserve(pending_work_.size());
+    for (pending_work& w : pending_work_) {
+        pending_threads_.emplace_back(
+            [this, index = w.index, cg = w.cg, name = std::move(w.kernel),
+             exec = std::move(w.exec)]() mutable {
+                retire_guard retire{recorder_, cg};
+                worker_error we;
+                we.index = index;
+                we.kernel = name;
+                try {
+                    fault::maybe_inject(fault::op_kind::launch, name,
+                                        "kernel launch failed");
+                    exec(thread_pool::global());
+                    return;
+                } catch (const pipe_deadlock& pd) {
+                    // Watchdog: a pipe timeout means this kernel was wedged
+                    // waiting for its peer; end_dataflow() merges these into
+                    // one structured dataflow_error.
+                    we.error = std::current_exception();
+                    we.pipe_blocked = true;
+                    we.detail = pd.what();
+                } catch (...) {
+                    we.error = std::current_exception();
+                }
+                std::lock_guard lock(worker_errors_mutex_);
+                worker_errors_.push_back(std::move(we));
+            });
+    }
+    pending_work_.clear();
 }
 
 void queue::deliver(exception_list errors) {
@@ -159,6 +230,33 @@ std::vector<event> queue::end_dataflow() {
         throw std::logic_error("queue: end_dataflow without begin_dataflow");
     in_dataflow_ = false;
 
+    // Pre-launch pipe lint: with the group's submissions complete but no
+    // worker started yet, the static topology can be checked before anything
+    // can block on a pipe. Under --sanitize=error a group with pipe errors
+    // is refused here -- the static complement of PR 2's runtime watchdog.
+    if (recorder_ != nullptr && current_group_ >= 0) {
+        analyze::report findings;
+        analyze::lint_pipe_group(recorder_->group_nodes(current_group_),
+                                 findings);
+        for (const analyze::finding& f : findings.findings())
+            recorder_->add_finding(f);
+        if (recorder_->enforcement() == analyze::level::error &&
+            findings.count_at_least(analyze::severity::error) > 0) {
+            std::string msg = "sanitize: refusing to launch dataflow group:";
+            for (const analyze::finding& f : findings.findings())
+                msg += " [" + f.rule + "] " + f.message + ";";
+            for (const pending_work& w : pending_work_)
+                if (w.cg != 0) recorder_->retire(w.cg);
+            pending_work_.clear();
+            pending_stats_.clear();
+            current_group_ = -1;
+            record_error_span("sanitize: pipe topology");
+            throw analyze::sanitize_error(msg);
+        }
+    }
+    current_group_ = -1;
+
+    launch_dataflow_workers();
     for (auto& t : pending_threads_) t.join();
     pending_threads_.clear();
     if (!worker_errors_.empty()) {
@@ -267,6 +365,7 @@ void queue::wait() {
                         trace_base_ns_ + sim_now_ns_ + sync});
     sim_now_ns_ += sync;
     non_kernel_ns_ += sync;
+    if (recorder_ != nullptr) recorder_->record_wait(queue_id_);
     throw_asynchronous();
 }
 

@@ -17,6 +17,8 @@
 // first error is (re)thrown at the point it is observed.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -92,6 +94,7 @@ public:
     template <typename CGF>
     event submit(CGF&& cgf) {
         handler h;
+        h.begin_capture(recorder_);
         cgf(h);
         return finish_submit(std::move(h));
     }
@@ -127,11 +130,17 @@ public:
     template <typename T>
     void copy_to_device(buffer<T>& dst, const T* src) {
         annotate_transfer(static_cast<double>(dst.byte_size()));
+        if (recorder_ != nullptr)
+            record_transfer_node(/*to_device=*/true, dst.host_data(),
+                                 dst.byte_size());
         std::copy(src, src + dst.size(), dst.host_data());
     }
     template <typename T>
     void copy_from_device(const buffer<T>& src, T* dst) {
         annotate_transfer(static_cast<double>(src.byte_size()));
+        if (recorder_ != nullptr)
+            record_transfer_node(/*to_device=*/false, src.host_data(),
+                                 src.byte_size());
         std::copy(src.host_data(), src.host_data() + src.size(), dst);
     }
     /// Timing-only transfer annotation (no functional copy); also the
@@ -164,6 +173,12 @@ public:
     void set_trace(trace::session* s) { trace_ = s; }
     [[nodiscard]] trace::session* trace() const { return trace_; }
 
+    /// Sanitizing. The constructor adopts analyze::recorder::current() the
+    /// same way, so `--sanitize` captures every submission's command graph
+    /// with no app changes; set_recorder() overrides (nullptr detaches).
+    void set_recorder(analyze::recorder* r);
+    [[nodiscard]] analyze::recorder* recorder() const { return recorder_; }
+
 private:
     /// One failed dataflow worker, keyed by submission order.
     struct worker_error {
@@ -174,10 +189,24 @@ private:
         std::string detail;         ///< deadlock message (pipe, occupancy)
     };
 
+    /// One dataflow kernel accepted but not yet started: under a dataflow
+    /// group, submissions are deferred and launched together at
+    /// end_dataflow(), which lets the sanitizer lint the group's complete
+    /// pipe topology before any worker thread can block on a pipe.
+    struct pending_work {
+        std::size_t index = 0;
+        std::uint64_t cg = 0;  ///< recorder command-group id (0: none)
+        std::string kernel;
+        std::function<void(thread_pool&)> exec;
+    };
+
     event finish_submit(handler&& h);
     event record(const perf::kernel_stats& stats, double duration_ns);
     void record_error_span(const std::string& label);
+    void record_transfer_node(bool to_device, const void* base,
+                              std::size_t bytes);
     void deliver(exception_list errors);
+    void launch_dataflow_workers();
 
     const perf::device_spec& dev_;
     perf::runtime_kind rt_;
@@ -200,9 +229,14 @@ private:
 
     bool in_dataflow_ = false;
     std::vector<perf::kernel_stats> pending_stats_;
+    std::vector<pending_work> pending_work_;
     std::vector<std::thread> pending_threads_;
     std::vector<worker_error> worker_errors_;
     std::mutex worker_errors_mutex_;
+
+    analyze::recorder* recorder_ = nullptr;
+    int queue_id_ = -1;       ///< recorder-assigned ordinal
+    int current_group_ = -1;  ///< open dataflow group id (recorder active)
 };
 
 /// RAII dataflow group: begins the group on construction; join() ends it and

@@ -9,6 +9,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "analyze/recorder.hpp"
 #include "fault/inject.hpp"
 #include "sycl/queue.hpp"
 
@@ -33,7 +34,12 @@ template <typename T>
     altis::fault::maybe_inject(altis::fault::op_kind::alloc, to_string(kind),
                                std::to_string(count * sizeof(T)) + " bytes");
     if (!q.device().usm_supported) return nullptr;
-    return static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+    T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+    // The sanitizer's USM liveness tracking (ALS-H4) pairs this with
+    // usm_free and the ranges kernels declare via handler::uses_usm.
+    if (auto* rec = altis::analyze::recorder::current())
+        rec->record_usm_alloc(p, count * sizeof(T));
+    return p;
 }
 
 template <typename T>
@@ -50,6 +56,9 @@ template <typename T>
 }
 
 inline void usm_free(void* ptr, const queue& /*q*/) {
+    if (ptr != nullptr)
+        if (auto* rec = altis::analyze::recorder::current())
+            rec->record_usm_free(ptr);
     ::operator delete(ptr, std::align_val_t{64});
 }
 

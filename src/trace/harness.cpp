@@ -8,17 +8,23 @@ namespace altis::trace {
 cli_harness::cli_harness(std::string name) : session_(std::move(name)) {
     add_trace_options(opts_);
     fault::add_fault_options(opts_);
+    analyze::add_sanitize_options(opts_);
 }
 
 int cli_harness::parse(int argc, char** argv) {
     try {
         if (!opts_.parse(argc, argv, std::cout)) return 0;  // --help
+        aopts_ = analyze::options::from(opts_);
     } catch (const OptionError& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
     topts_ = options::from(opts_);
     fopts_ = fault::options::from(opts_);
+    if (aopts_.enabled()) {
+        recorder_.emplace(aopts_.lv);
+        sanitize_scope_.emplace(*recorder_);
+    }
     if (fopts_.enabled()) {
         try {
             plan_.emplace(fopts_.make_plan());
@@ -35,12 +41,34 @@ int cli_harness::parse(int argc, char** argv) {
 }
 
 int cli_harness::finish() {
-    if (!topts_.enabled()) return 0;
+    int sanitize_rc = 0;
+    if (recorder_) {
+        sanitize_scope_.reset();
+        // Findings land on the trace (when one is active) as zero-length
+        // failed spans at the end of the timeline, so exported timelines
+        // show what the sanitizer objected to.
+        analyze::span_sink sink;
+        if (topts_.enabled()) {
+            sink = [this](const analyze::finding& f) {
+                const double t = session_.last_end_ns();
+                span s;
+                s.name = "sanitize " + f.rule + ": " + f.message;
+                s.start_ns = t;
+                s.end_ns = t;
+                s.status = span_status::failed;
+                session_.record(std::move(s));
+            };
+        }
+        sanitize_rc =
+            analyze::finish(*recorder_, aopts_, std::cout, std::cerr, sink);
+    }
+    if (!topts_.enabled()) return sanitize_rc;
     scope_.reset();
-    return finish_session(session_, topts_, session_.last_end_ns(), std::cout,
-                          std::cerr)
-               ? 0
-               : 2;
+    const int trace_rc = finish_session(session_, topts_, session_.last_end_ns(),
+                                        std::cout, std::cerr)
+                             ? 0
+                             : 2;
+    return sanitize_rc != 0 ? sanitize_rc : trace_rc;
 }
 
 }  // namespace altis::trace

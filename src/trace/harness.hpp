@@ -11,6 +11,8 @@
 #include <optional>
 #include <string>
 
+#include "analyze/options.hpp"
+#include "analyze/recorder.hpp"
 #include "core/option_parser.hpp"
 #include "fault/inject.hpp"
 #include "fault/options.hpp"
@@ -28,8 +30,10 @@ public:
     /// tracing is requested, the session becomes current here.
     [[nodiscard]] int parse(int argc, char** argv);
 
-    /// Exports trace/profile artifacts if requested. Returns the process
-    /// exit code (0, or 2 when an artifact could not be written).
+    /// Runs the sanitizer (when --sanitize was given) and exports
+    /// trace/profile artifacts if requested. Returns the process exit code
+    /// (0; 1 when --sanitize=error found problems; 2 when an artifact could
+    /// not be written).
     [[nodiscard]] int finish();
 
     [[nodiscard]] OptionParser& parser() { return opts_; }
@@ -46,12 +50,23 @@ public:
     }
     [[nodiscard]] bool fail_fast() const { return fopts_.fail_fast; }
 
+    /// Sanitize options parsed from --sanitize/--sanitize-json. When
+    /// enabled, parse() installs a process-wide analyze::recorder for the
+    /// binary's lifetime and finish() runs the passes over the captured
+    /// command graph.
+    [[nodiscard]] const analyze::options& sanitize_options() const {
+        return aopts_;
+    }
+
 private:
     OptionParser opts_;
     trace::options topts_;
     fault::options fopts_;
+    analyze::options aopts_;
     std::optional<fault::plan> plan_;
     std::optional<fault::scope> fault_scope_;
+    std::optional<analyze::recorder> recorder_;
+    std::optional<analyze::recorder::scope> sanitize_scope_;
     session session_;
     std::optional<session::scope> scope_;
 };

@@ -1,0 +1,105 @@
+// Catalog and report plumbing of altis::sanitize.
+#include "analyze/findings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "support/mini_json.hpp"
+
+namespace altis::analyze {
+namespace {
+
+TEST(RuleCatalog, IdsAreUniqueAndWellFormed) {
+    std::set<std::string> ids;
+    for (const rule_info& r : rule_catalog()) {
+        EXPECT_TRUE(ids.insert(r.id).second) << r.id;
+        EXPECT_EQ(std::string(r.id).rfind("ALS-", 0), 0u) << r.id;
+        EXPECT_NE(std::string(r.title), "");
+        EXPECT_NE(std::string(r.fix_hint), "");
+        EXPECT_NE(std::string(r.paper_ref), "");
+    }
+    // The documented rule pack: 4 hazard, 3 pipe, 6 lint rules.
+    EXPECT_EQ(rule_catalog().size(), 13u);
+}
+
+TEST(RuleCatalog, LookupFillsFindings) {
+    const finding f = make_finding("ALS-H1", "k1 & k2", "0x0+64B", "conflict");
+    EXPECT_EQ(f.rule, "ALS-H1");
+    EXPECT_EQ(f.sev, severity::error);
+    EXPECT_EQ(f.fix_hint, std::string(rule("ALS-H1").fix_hint));
+    EXPECT_EQ(f.paper_ref, std::string(rule("ALS-H1").paper_ref));
+    EXPECT_THROW((void)rule("ALS-X9"), std::out_of_range);
+}
+
+TEST(RuleCatalog, SeveritiesMatchTheSpec) {
+    for (const char* id : {"ALS-H1", "ALS-H2", "ALS-H3", "ALS-H4", "ALS-P1",
+                           "ALS-P2", "ALS-L6"})
+        EXPECT_EQ(rule(id).sev, severity::error) << id;
+    for (const char* id :
+         {"ALS-P3", "ALS-L1", "ALS-L2", "ALS-L3", "ALS-L4", "ALS-L5"})
+        EXPECT_EQ(rule(id).sev, severity::warning) << id;
+}
+
+TEST(Report, DedupsExactRepeats) {
+    report r;
+    r.add(make_finding("ALS-L5", "wait", "queue #0", "redundant"));
+    r.add(make_finding("ALS-L5", "wait", "queue #0", "redundant"));
+    r.add(make_finding("ALS-L5", "wait", "queue #1", "redundant"));
+    EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Report, CountAtLeastOrdersSeverities) {
+    report r;
+    r.add(make_finding("ALS-L1", "k", "", "pow"));       // warning
+    r.add(make_finding("ALS-H4", "k", "p", "freed"));    // error
+    EXPECT_EQ(r.count_at_least(severity::note), 2u);
+    EXPECT_EQ(r.count_at_least(severity::warning), 2u);
+    EXPECT_EQ(r.count_at_least(severity::error), 1u);
+}
+
+TEST(Report, TextRenderingMentionsRuleAndCount) {
+    report r;
+    std::ostringstream empty;
+    r.render_text(empty);
+    EXPECT_NE(empty.str().find("no findings"), std::string::npos);
+
+    r.add(make_finding("ALS-H2", "kern", "0x1+4B", "host read race"));
+    std::ostringstream out;
+    r.render_text(out);
+    EXPECT_NE(out.str().find("ALS-H2"), std::string::npos);
+    EXPECT_NE(out.str().find("1 finding (1 errors)"), std::string::npos);
+}
+
+TEST(Report, JsonRoundTripsThroughStrictParser) {
+    report r;
+    r.add(make_finding("ALS-P1", "reader", "pipe \"in\"", "no writer"));
+    r.add(make_finding("ALS-L1", "pf_propagate", "", "pow(a,2)"));
+    std::ostringstream out;
+    r.render_json(out);
+
+    const auto doc = mini_json::parse(out.str());
+    ASSERT_EQ(doc.as_array().size(), 2u);
+    const auto& f0 = doc.as_array()[0];
+    EXPECT_EQ(f0.at("rule").as_string(), "ALS-P1");
+    EXPECT_EQ(f0.at("severity").as_string(), "error");
+    EXPECT_EQ(f0.at("object").as_string(), "pipe \"in\"");
+    for (const char* key :
+         {"rule", "severity", "kernel", "object", "message", "fix_hint",
+          "paper_ref"})
+        EXPECT_TRUE(f0.has(key)) << key;
+}
+
+TEST(Report, MergeKeepsDedupAcrossReports) {
+    report a;
+    a.add(make_finding("ALS-L4", "scan_onedpl", "", "library scan"));
+    report b;
+    b.add(make_finding("ALS-L4", "scan_onedpl", "", "library scan"));
+    b.add(make_finding("ALS-L2", "fdtd_step", "", "simd mismatch"));
+    a.merge(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace altis::analyze

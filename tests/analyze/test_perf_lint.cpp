@@ -1,0 +1,154 @@
+// Paper-derived descriptor lint rules (ALS-L*), exercised with synthetic
+// descriptors plus the real ParticleFilter model that motivated ALS-L1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analyze/recorder.hpp"
+#include "analyze/sanitize.hpp"
+#include "apps/particlefilter/particlefilter.hpp"
+#include "perf/device.hpp"
+
+namespace altis::analyze {
+namespace {
+
+bool has_rule(const report& r, const std::string& id) {
+    return std::any_of(r.findings().begin(), r.findings().end(),
+                       [&](const finding& f) { return f.rule == id; });
+}
+
+node descriptor_node(perf::kernel_stats k, const perf::device_spec& dev) {
+    node n;
+    n.kind = node_kind::kernel;
+    n.kernel = k.name;
+    n.stats = std::move(k);
+    n.device = &dev;
+    n.simulated = true;
+    return n;
+}
+
+report lint_one(perf::kernel_stats k, const char* device) {
+    command_graph g;
+    g.nodes.push_back(descriptor_node(std::move(k), perf::device_by_name(device)));
+    report r;
+    lint_descriptors(g, r);
+    return r;
+}
+
+TEST(PerfLint, L1PowWithConstantExponent) {
+    perf::kernel_stats k;
+    k.name = "pf_like";
+    k.global_items = 1024;
+    k.wg_size = 128;
+    k.pow_const_exp_ops = 98.0;
+    // Device-independent: the 2x GPU / 6x FPGA trap of Sec. 3.3.
+    EXPECT_TRUE(has_rule(lint_one(k, "rtx_2080"), "ALS-L1"));
+    EXPECT_TRUE(has_rule(lint_one(k, "stratix_10"), "ALS-L1"));
+    k.pow_const_exp_ops = 0.0;
+    EXPECT_FALSE(has_rule(lint_one(k, "rtx_2080"), "ALS-L1"));
+}
+
+TEST(PerfLint, L2SimdMustDivideWorkGroupSize) {
+    perf::kernel_stats k;
+    k.name = "bad_simd";
+    k.global_items = 4096;
+    k.wg_size = 6;
+    k.simd = 4;  // 6 % 4 != 0: attribute silently dropped (Sec. 5.2)
+    EXPECT_TRUE(has_rule(lint_one(k, "stratix_10"), "ALS-L2"));
+    // GPUs have no num_simd_work_items attribute: rule is FPGA-only.
+    EXPECT_FALSE(has_rule(lint_one(k, "rtx_2080"), "ALS-L2"));
+    k.wg_size = 8;
+    EXPECT_FALSE(has_rule(lint_one(k, "stratix_10"), "ALS-L2"));
+}
+
+TEST(PerfLint, L3UnrollBeyondTripCount) {
+    perf::kernel_stats k;
+    k.name = "over_unrolled";
+    k.form = perf::kernel_form::single_task;
+    perf::loop_info l;
+    l.name = "inner";
+    l.trip_count = 4.0;
+    l.unroll = 16;
+    k.loops.push_back(l);
+    EXPECT_TRUE(has_rule(lint_one(k, "agilex"), "ALS-L3"));
+    k.loops[0].unroll = 4;
+    EXPECT_FALSE(has_rule(lint_one(k, "agilex"), "ALS-L3"));
+}
+
+TEST(PerfLint, L3UnrollOnCongestedLocalMemory) {
+    perf::kernel_stats k;
+    k.name = "arbitered";
+    k.global_items = 4096;
+    k.wg_size = 64;
+    k.pattern = perf::local_pattern::congested;
+    k.local_arrays = 1;
+    k.local_mem_bytes = 1024;
+    k.local_accesses = 8.0;
+    k.unroll = 4;  // multiplies arbitrated ports on a timing-dirty design
+    EXPECT_TRUE(has_rule(lint_one(k, "stratix_10"), "ALS-L3"));
+    k.unroll = 1;
+    EXPECT_FALSE(has_rule(lint_one(k, "stratix_10"), "ALS-L3"));
+}
+
+TEST(PerfLint, L4LibraryScanOnFpga) {
+    perf::kernel_stats k;
+    k.name = "scan_onedpl";
+    k.global_items = 1 << 20;
+    k.wg_size = 256;
+    k.library = true;
+    EXPECT_TRUE(has_rule(lint_one(k, "stratix_10"), "ALS-L4"));
+    // The same call on a GPU is exactly what the paper recommends (Sec. 5.1).
+    EXPECT_FALSE(has_rule(lint_one(k, "a100"), "ALS-L4"));
+}
+
+TEST(PerfLint, L6AccessorObjectArgsExceedTheDevice) {
+    // SRAD's Sec. 4 synthesis failure: eleven accessor *objects*.
+    perf::kernel_stats k;
+    k.name = "srad_like";
+    k.global_items = 4096;
+    k.wg_size = 64;
+    k.accessor_args = 11;
+    k.pass_accessor_objects = true;
+    k.replication = 2;  // two compute units of the accessor-heavy kernel
+    const report r = lint_one(k, "stratix_10");
+    ASSERT_TRUE(has_rule(r, "ALS-L6"));
+    k.pass_accessor_objects = false;  // pointer-passing rewrite fits
+    EXPECT_FALSE(has_rule(lint_one(k, "stratix_10"), "ALS-L6"));
+}
+
+TEST(PerfLint, ParticleFilterCudaModelCarriesThePowTrap) {
+    const auto& gpu = perf::device_by_name("rtx_2080");
+    recorder rec;
+    const auto region = apps::particlefilter::region(
+        apps::particlefilter::flavor::floatopt, Variant::cuda, gpu, 1);
+    for (const auto& k : region.all_kernels())
+        rec.record_simulated_kernel(k, gpu);
+    EXPECT_TRUE(has_rule(run_all(rec), "ALS-L1"));
+}
+
+TEST(PerfLint, ParticleFilterMigratedModelIsClean) {
+    const auto& gpu = perf::device_by_name("rtx_2080");
+    recorder rec;
+    const auto region = apps::particlefilter::region(
+        apps::particlefilter::flavor::floatopt, Variant::sycl_opt, gpu, 1);
+    for (const auto& k : region.all_kernels())
+        rec.record_simulated_kernel(k, gpu);
+    EXPECT_FALSE(has_rule(run_all(rec), "ALS-L1"));
+}
+
+TEST(PerfLint, SimulatedNodesSkipHazardPasses) {
+    // Descriptor nodes have no command order: only ALS-L* may fire.
+    const auto& fpga = perf::device_by_name("stratix_10");
+    recorder rec;
+    perf::kernel_stats k;
+    k.name = "descriptor_only";
+    k.library = true;
+    rec.record_simulated_kernel(k, fpga);
+    const report r = run_all(rec);
+    for (const finding& f : r.findings())
+        EXPECT_EQ(f.rule.rfind("ALS-L", 0), 0u) << f.rule;
+}
+
+}  // namespace
+}  // namespace altis::analyze

@@ -1,0 +1,164 @@
+// Pipe-topology linter: hand-built dataflow groups for the static rules plus
+// the pre-launch gate on a real queue (--sanitize=error refuses a doomed
+// group before any worker thread can block).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/sanitize.hpp"
+#include "sycl/syclite.hpp"
+
+namespace altis::analyze {
+namespace {
+
+bool has_rule(const report& r, const std::string& id) {
+    return std::any_of(r.findings().begin(), r.findings().end(),
+                       [&](const finding& f) { return f.rule == id; });
+}
+
+node kernel_node(const char* name, std::vector<pipe_endpoint> pipes) {
+    node n;
+    n.kind = node_kind::kernel;
+    n.kernel = name;
+    n.queue = 0;
+    n.group = 0;
+    n.pipes = std::move(pipes);
+    return n;
+}
+
+pipe_endpoint endpoint(const void* id, const char* name, std::size_t cap,
+                       pipe_dir dir, double items, double rounds = 1.0) {
+    return {id, name, cap, dir, items, rounds};
+}
+
+const void* const kPipeA = reinterpret_cast<const void*>(0x10);
+const void* const kPipeB = reinterpret_cast<const void*>(0x20);
+
+TEST(Pipes, P1EndpointWithoutPeer) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("lonely_writer",
+                     {endpoint(kPipeA, "out", 8, pipe_dir::write, 4.0)})},
+        r);
+    ASSERT_TRUE(has_rule(r, "ALS-P1"));
+}
+
+TEST(Pipes, P1CleanWhenBothEndsExist) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("w", {endpoint(kPipeA, "ch", 8, pipe_dir::write, 4.0)}),
+         kernel_node("r", {endpoint(kPipeA, "ch", 8, pipe_dir::read, 4.0)})},
+        r);
+    EXPECT_FALSE(has_rule(r, "ALS-P1"));
+}
+
+// The seeded two-kernel feedback cycle: every pipe on the cycle moves more
+// items per round than it can buffer, so neither stage can ever finish a
+// round -- guaranteed deadlock, caught before launch.
+TEST(Pipes, P2AllOverflowFeedbackCycle) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("stage_a",
+                     {endpoint(kPipeA, "fwd", 4, pipe_dir::write, 100.0),
+                      endpoint(kPipeB, "back", 4, pipe_dir::read, 100.0)}),
+         kernel_node("stage_b",
+                     {endpoint(kPipeA, "fwd", 4, pipe_dir::read, 100.0),
+                      endpoint(kPipeB, "back", 4, pipe_dir::write, 100.0)})},
+        r);
+    ASSERT_TRUE(has_rule(r, "ALS-P2"));
+}
+
+// kmeans' shape: the forward pipe overflows per round, but the feedback pipe
+// buffers a whole round (1024 >= 128) -- the loop is feasible (Fig. 3).
+TEST(Pipes, P2FeasibleWhenOnePipeBuffersARound) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("map_centers",
+                     {endpoint(kPipeA, "map", 256, pipe_dir::write, 4096.0),
+                      endpoint(kPipeB, "centers", 1024, pipe_dir::read, 128.0)}),
+         kernel_node("reduce_update",
+                     {endpoint(kPipeA, "map", 256, pipe_dir::read, 4096.0),
+                      endpoint(kPipeB, "centers", 1024, pipe_dir::write,
+                               128.0)})},
+        r);
+    EXPECT_FALSE(has_rule(r, "ALS-P2"));
+}
+
+TEST(Pipes, P3VolumeMismatch) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("w",
+                     {endpoint(kPipeA, "ch", 8, pipe_dir::write, 10.0, 2.0)}),
+         kernel_node("r",
+                     {endpoint(kPipeA, "ch", 8, pipe_dir::read, 10.0, 1.0)})},
+        r);
+    ASSERT_TRUE(has_rule(r, "ALS-P3"));
+}
+
+TEST(Pipes, P3SilentWhenVolumesAreUndeclared) {
+    report r;
+    lint_pipe_group(
+        {kernel_node("w", {endpoint(kPipeA, "ch", 8, pipe_dir::write, 0.0)}),
+         kernel_node("r", {endpoint(kPipeA, "ch", 8, pipe_dir::read, 0.0)})},
+        r);
+    EXPECT_FALSE(has_rule(r, "ALS-P3"));
+}
+
+TEST(Pipes, LintPipesWalksEveryGroupInTheGraph) {
+    command_graph g;
+    node lonely = kernel_node(
+        "lonely", {endpoint(kPipeA, "ch", 8, pipe_dir::read, 1.0)});
+    lonely.group = 3;
+    g.nodes.push_back(lonely);
+    report r;
+    lint_pipes(g, r);
+    EXPECT_TRUE(has_rule(r, "ALS-P1"));
+}
+
+// Pre-launch gate: under --sanitize=error a group whose topology is a
+// guaranteed deadlock is refused at end_dataflow -- before any worker thread
+// exists -- instead of tripping the runtime watchdog seconds later.
+TEST(Pipes, ErrorLevelGateRefusesDoomedGroup) {
+    recorder rec(level::error);
+    recorder::scope scope(rec);
+    syclite::queue q("xeon_6128");
+    syclite::pipe<int> ch(4, "orphan");
+    syclite::dataflow_guard g(q);
+    q.submit([&](syclite::handler& h) {
+        h.reads_pipe(ch, 1.0, 1.0);
+        perf::kernel_stats k;
+        k.name = "doomed_reader";
+        h.single_task(std::move(k), [&] { (void)ch.read(); });
+    });
+    EXPECT_THROW((void)g.join(), sanitize_error);
+    // The gate's findings survive for the final report.
+    EXPECT_TRUE(has_rule(rec.runtime_findings(), "ALS-P1"));
+}
+
+TEST(Pipes, WarnLevelDoesNotBlockExecution) {
+    recorder rec(level::warn);
+    recorder::scope scope(rec);
+    syclite::queue q("xeon_6128");
+    syclite::pipe<int> ch(8, "ch");
+    syclite::dataflow_guard g(q);
+    q.submit([&](syclite::handler& h) {
+        h.writes_pipe(ch, 1.0, 1.0);
+        perf::kernel_stats k;
+        k.name = "producer";
+        h.single_task(std::move(k), [&] { ch.write(42); });
+    });
+    q.submit([&](syclite::handler& h) {
+        h.reads_pipe(ch, 1.0, 1.0);
+        perf::kernel_stats k;
+        k.name = "consumer";
+        h.single_task(std::move(k), [&] { EXPECT_EQ(ch.read(), 42); });
+    });
+    (void)g.join();
+    EXPECT_FALSE(has_rule(run_all(rec), "ALS-P1"));
+    EXPECT_FALSE(has_rule(run_all(rec), "ALS-P2"));
+}
+
+}  // namespace
+}  // namespace altis::analyze
