@@ -1,8 +1,18 @@
 // Ablation: host-side microbenchmarks of the syclite runtime itself --
 // kernel dispatch cost, hierarchical work-group execution, pipe throughput
-// and thread-pool scaling. These measure the *functional* substrate (real
+// (element-wise and burst), ND-Range dispatch across sizes, and concurrent
+// thread-pool jobs. These measure the *functional* substrate (real
 // wall-clock), not the simulated device times.
+//
+// `--json [path]` writes the google-benchmark JSON report to `path`
+// (default BENCH_runtime.json) in addition to the console output -- the
+// recorded point of the runtime's perf trajectory (docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "sycl/syclite.hpp"
 
@@ -45,7 +55,7 @@ void BM_ParallelFor(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ParallelFor)->Range(1 << 10, 1 << 18);
+BENCHMARK(BM_ParallelFor)->Range(1 << 10, 1 << 24);
 
 void BM_HierarchicalTwoPhase(benchmark::State& state) {
     queue q("xeon_6128");
@@ -102,6 +112,55 @@ void BM_PipeThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_PipeThroughput)->Range(1 << 10, 1 << 16);
 
+/// Streaming transfer through the burst API: whole spans per counter
+/// publication instead of one element each (the KMeans dataflow pattern).
+constexpr std::size_t kBurst = 64;
+
+void BM_PipeThroughputBurst(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        syclite::pipe<int> p(256);
+        queue q("stratix_10");
+        const std::size_t n = static_cast<std::size_t>(state.range(0));
+        state.ResumeTiming();
+        q.begin_dataflow();
+        q.submit([&](handler& h) {
+            perf::kernel_stats k = tiny_stats();
+            k.writes_pipe = true;
+            h.single_task(k, [&p, n] {
+                int batch[kBurst];
+                std::size_t sent = 0;
+                while (sent < n) {
+                    const std::size_t take = std::min(kBurst, n - sent);
+                    for (std::size_t i = 0; i < take; ++i)
+                        batch[i] = static_cast<int>(sent + i);
+                    p.write_burst(batch, take);
+                    sent += take;
+                }
+            });
+        });
+        q.submit([&](handler& h) {
+            perf::kernel_stats k = tiny_stats();
+            k.reads_pipe = true;
+            h.single_task(k, [&p, n] {
+                int batch[kBurst];
+                long sum = 0;
+                std::size_t got = 0;
+                while (got < n) {
+                    const std::size_t take = std::min(kBurst, n - got);
+                    p.read_burst(batch, take);
+                    for (std::size_t i = 0; i < take; ++i) sum += batch[i];
+                    got += take;
+                }
+                benchmark::DoNotOptimize(sum);
+            });
+        });
+        q.end_dataflow();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipeThroughputBurst)->Range(1 << 10, 1 << 16);
+
 void BM_ThreadPoolParallelFor(benchmark::State& state) {
     thread_pool pool;
     const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -114,6 +173,61 @@ void BM_ThreadPoolParallelFor(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolParallelFor)->Range(1 << 10, 1 << 20);
 
+/// Concurrent-job scaling: range(0) submitter threads issue parallel_for
+/// jobs to one shared pool simultaneously, the shape of a dataflow group
+/// whose members are ND-Range kernels. Before the per-job work list the
+/// submitters serialized behind a single submission mutex.
+void BM_ConcurrentPoolJobs(benchmark::State& state) {
+    thread_pool pool(4);
+    const int submitters = static_cast<int>(state.range(0));
+    constexpr std::size_t kPerJob = 1 << 14;
+    for (auto _ : state) {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(submitters));
+        for (int t = 0; t < submitters; ++t)
+            threads.emplace_back([&pool] {
+                double acc = 1.0;
+                pool.parallel_for(kPerJob, [&](std::size_t i) {
+                    acc += static_cast<double>(i) * 1e-9;
+                });
+                benchmark::DoNotOptimize(acc);
+            });
+        for (auto& t : threads) t.join();
+    }
+    state.SetItemsProcessed(state.iterations() * submitters *
+                            static_cast<long>(kPerJob));
+}
+BENCHMARK(BM_ConcurrentPoolJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a `--json [path]` extension: rewrites the flag into
+// google-benchmark's --benchmark_out before initialization so the JSON
+// report (BENCH_runtime.json by default) rides along with the console run.
+int main(int argc, char** argv) {
+    std::vector<char*> args;
+    std::string out_path;
+    bool json = false;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    std::string out_flag, fmt_flag;
+    if (json) {
+        if (out_path.empty()) out_path = "BENCH_runtime.json";
+        out_flag = "--benchmark_out=" + out_path;
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int argn = static_cast<int>(args.size());
+    benchmark::Initialize(&argn, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -209,6 +209,12 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
     if (p.d > 32)
         throw std::invalid_argument("kmeans: dataflow path supports d <= 32");
 
+    /// Mappings move in bursts of this many to amortize the pipe's counter
+    /// publication (docs/PERFORMANCE.md); purely a host-side wall-clock
+    /// optimization -- the declared per-round volumes and the simulated
+    /// timeline are unchanged.
+    constexpr std::size_t kBurst = 64;
+
     sl::pipe<mapping> map_pipe(256, "kmeans_map");
     sl::pipe<float> center_pipe(1024, "kmeans_center");
 
@@ -231,18 +237,24 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
         h.single_task(detail::stats_map_st(p, dev), [=]() {
             std::vector<float> cur(cp.k * cp.d);
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr[x];
+            std::vector<mapping> batch(kBurst);
             for (int iter = 0; iter < cp.iterations; ++iter) {
+                std::size_t filled = 0;
                 for (std::size_t i = 0; i < cp.n; ++i) {
-                    mapping m{};
+                    mapping& m = batch[filled];
                     m.center =
                         nearest_center(&pts[i * cp.d], cur.data(), cp.k, cp.d);
                     for (std::size_t j = 0; j < cp.d; ++j)
                         m.coords[j] = pts[i * cp.d + j];
                     if (iter == cp.iterations - 1) asg[i] = m.center;
-                    mp->write(m);
+                    if (++filled == kBurst) {
+                        mp->write_burst(batch.data(), filled);
+                        filled = 0;
+                    }
                 }
+                if (filled > 0) mp->write_burst(batch.data(), filled);
                 // Receive the finalized centers for the next pass.
-                for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = fb->read();
+                fb->read_burst(cur.data(), cp.k * cp.d);
             }
         });
     });
@@ -258,15 +270,21 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr[x];
             std::vector<float> sums(cp.k * cp.d);
             std::vector<int> counts(cp.k);
+            std::vector<mapping> batch(kBurst);
             for (int iter = 0; iter < cp.iterations; ++iter) {
                 std::fill(sums.begin(), sums.end(), 0.0f);   // reset
                 std::fill(counts.begin(), counts.end(), 0);
-                for (std::size_t i = 0; i < cp.n; ++i) {     // accumulate
-                    const mapping m = mp->read();
-                    const auto c = static_cast<std::size_t>(m.center);
-                    for (std::size_t j = 0; j < cp.d; ++j)
-                        sums[c * cp.d + j] += m.coords[j];
-                    ++counts[c];
+                for (std::size_t i = 0; i < cp.n;) {         // accumulate
+                    const std::size_t take = std::min(kBurst, cp.n - i);
+                    mp->read_burst(batch.data(), take);
+                    for (std::size_t b = 0; b < take; ++b) {
+                        const mapping& m = batch[b];
+                        const auto c = static_cast<std::size_t>(m.center);
+                        for (std::size_t j = 0; j < cp.d; ++j)
+                            sums[c * cp.d + j] += m.coords[j];
+                        ++counts[c];
+                    }
+                    i += take;
                 }
                 for (std::size_t c = 0; c < cp.k; ++c) {     // finalize
                     if (counts[c] == 0) continue;
@@ -274,7 +292,7 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
                         cur[c * cp.d + j] =
                             sums[c * cp.d + j] / static_cast<float>(counts[c]);
                 }
-                for (std::size_t x = 0; x < cp.k * cp.d; ++x) fb->write(cur[x]);
+                fb->write_burst(cur.data(), cp.k * cp.d);
             }
             for (std::size_t x = 0; x < cp.k * cp.d; ++x) ctr[x] = cur[x];
         });

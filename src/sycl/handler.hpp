@@ -5,7 +5,6 @@
 // with the code.
 #pragma once
 
-#include <functional>
 #include <utility>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "perf/kernel_stats.hpp"
 #include "sycl/buffer.hpp"
 #include "sycl/range.hpp"
+#include "sycl/small_function.hpp"
 #include "sycl/thread_pool.hpp"
 
 namespace syclite {
@@ -101,6 +101,11 @@ public:
     /// Classic ND-Range kernel: f(nd_item<Dims>). Work-groups run in
     /// parallel on the pool; items within a group run sequentially (no
     /// mid-kernel barriers -- use parallel_for_work_group for those).
+    /// Iteration within a group is div-free: nested per-dimension loops
+    /// carry local and global coordinates incrementally instead of
+    /// delinearizing each item's linear index (one compare+increment per
+    /// item; the only div/mod left is the per-*group* delinearization for
+    /// 2D/3D, amortized over the group's items).
     template <int Dims, typename F>
     void parallel_for(nd_range<Dims> ndr, perf::kernel_stats stats, F&& f) {
         stats.form = perf::kernel_form::nd_range;
@@ -111,15 +116,32 @@ public:
             const range<Dims> grange = ndr.get_group_range();
             const range<Dims> lrange = ndr.get_local_range();
             const range<Dims> global = ndr.get_global_range();
-            const std::size_t items_per_group = lrange.size();
             pool.parallel_for(grange.size(), [&](std::size_t group_lin) {
-                const id<Dims> gid = detail::delinearize(group_lin, grange);
-                for (std::size_t lin = 0; lin < items_per_group; ++lin) {
-                    const id<Dims> local = detail::delinearize(lin, lrange);
-                    id<Dims> gidx;
-                    for (int d = 0; d < Dims; ++d)
-                        gidx[d] = gid[d] * lrange[d] + local[d];
-                    fn(nd_item<Dims>(gidx, local, gid, global, lrange));
+                if constexpr (Dims == 1) {
+                    const id<1> gid(group_lin);
+                    const std::size_t base = group_lin * lrange[0];
+                    for (std::size_t l0 = 0; l0 < lrange[0]; ++l0)
+                        fn(nd_item<1>(id<1>(base + l0), id<1>(l0), gid,
+                                      global, lrange));
+                } else if constexpr (Dims == 2) {
+                    const id<2> gid = detail::delinearize(group_lin, grange);
+                    const std::size_t b0 = gid[0] * lrange[0];
+                    const std::size_t b1 = gid[1] * lrange[1];
+                    for (std::size_t l0 = 0; l0 < lrange[0]; ++l0)
+                        for (std::size_t l1 = 0; l1 < lrange[1]; ++l1)
+                            fn(nd_item<2>(id<2>(b0 + l0, b1 + l1),
+                                          id<2>(l0, l1), gid, global, lrange));
+                } else {
+                    const id<3> gid = detail::delinearize(group_lin, grange);
+                    const std::size_t b0 = gid[0] * lrange[0];
+                    const std::size_t b1 = gid[1] * lrange[1];
+                    const std::size_t b2 = gid[2] * lrange[2];
+                    for (std::size_t l0 = 0; l0 < lrange[0]; ++l0)
+                        for (std::size_t l1 = 0; l1 < lrange[1]; ++l1)
+                            for (std::size_t l2 = 0; l2 < lrange[2]; ++l2)
+                                fn(nd_item<3>(id<3>(b0 + l0, b1 + l1, b2 + l2),
+                                              id<3>(l0, l1, l2), gid, global,
+                                              lrange));
                 }
             });
         });
@@ -166,8 +188,10 @@ private:
                           items_per_round, rounds});
     }
 
+    /// exec is a small_function: typical kernel thunks live in its inline
+    /// buffer, so accepting a submission does not allocate.
     void set_kernel(perf::kernel_stats stats,
-                    std::function<void(thread_pool&)> exec) {
+                    detail::small_function<void(thread_pool&)> exec) {
         if (has_kernel_)
             throw std::logic_error(
                 "handler: a command group may contain only one kernel launch");
@@ -177,7 +201,7 @@ private:
     }
 
     perf::kernel_stats stats_;
-    std::function<void(thread_pool&)> exec_;
+    detail::small_function<void(thread_pool&)> exec_;
     bool has_kernel_ = false;
 
     analyze::recorder* recorder_ = nullptr;

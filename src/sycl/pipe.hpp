@@ -7,21 +7,37 @@
 // (pipe<id, T, capacity>::write). syclite pipes are objects captured by
 // reference, which keeps them testable; capacity semantics are identical.
 //
+// Execution engine: the ring is a lock-free single-producer/single-consumer
+// queue -- monotonic head/tail counters on separate cache lines, published
+// with release stores and observed with acquire loads, so the per-element
+// fast path takes no lock and signals no condvar. Exactly one thread may
+// write (the producer kernel) and exactly one may read (the consumer
+// kernel), which is what every dataflow group in the suite is; see
+// docs/PERFORMANCE.md. When the ring is empty/full the waiter spins briefly,
+// yields, and only then parks on a condvar; the peer wakes it through a
+// Dekker-style handshake (seq_cst fence between publishing the counter and
+// checking the waiter flag). write_burst/read_burst move whole spans per
+// counter publication for streaming kernels.
+//
 // Deadlock watchdog: blocking read/write time out (constructor argument,
 // $ALTIS_PIPE_TIMEOUT_MS, or 30 s by default) and throw pipe_deadlock with
 // the pipe's name, capacity and occupancy. Inside a dataflow group the queue
 // converts those into one structured dataflow_error naming every blocked
 // kernel. An active fault plan (`pipe:<name>@N`) can stall the Nth matching
-// pipe operation to exercise exactly that path.
+// pipe operation to exercise exactly that path; try_write/try_read consume
+// the same plan rules but realize the stall as a non-blocking refusal.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/inject.hpp"
@@ -67,45 +83,76 @@ public:
     /// (guards against kernels mistakenly run outside a dataflow group).
     void write(const T& value) {
         maybe_injected_stall("write");
-        std::unique_lock lock(mutex_);
-        if (!not_full_.wait_for(lock, timeout_,
-                                [&] { return count_ < capacity_; }))
-            throw pipe_deadlock(deadlock_message("write"));
-        ring_[(head_ + count_) % capacity_] = value;
-        ++count_;
-        not_empty_.notify_one();
+        if (!space_available()) wait_for_space("write");
+        ring_[wrap(tail_pos_)] = value;
+        publish_tail(tail_pos_ + 1);
     }
 
     /// Blocking read; throws pipe_deadlock if no producer ever writes.
     T read() {
         maybe_injected_stall("read");
-        std::unique_lock lock(mutex_);
-        if (!not_empty_.wait_for(lock, timeout_,
-                                 [&] { return count_ > 0; }))
-            throw pipe_deadlock(deadlock_message("read"));
-        T value = ring_[head_];
-        head_ = (head_ + 1) % capacity_;
-        --count_;
-        not_full_.notify_one();
+        if (!data_available()) wait_for_data("read");
+        T value = std::move(ring_[wrap(head_pos_)]);
+        publish_head(head_pos_ + 1);
         return value;
     }
 
+    /// Writes `n` elements from `src`, blocking as needed; moves whole spans
+    /// per counter publication, so streaming kernels pay the synchronization
+    /// once per burst instead of once per element. The watchdog applies to
+    /// every stretch without progress, like a sequence of write() calls.
+    void write_burst(const T* src, std::size_t n) {
+        maybe_injected_stall("write_burst");
+        std::size_t done = 0;
+        while (done < n) {
+            if (!space_available()) wait_for_space("write_burst");
+            const std::size_t space =
+                capacity_ - static_cast<std::size_t>(tail_pos_ - head_cache_);
+            std::size_t chunk = n - done;
+            if (chunk > space) chunk = space;
+            for (std::size_t i = 0; i < chunk; ++i)
+                ring_[wrap(tail_pos_ + i)] = src[done + i];
+            publish_tail(tail_pos_ + chunk);
+            done += chunk;
+        }
+    }
+
+    /// Reads `n` elements into `dst`, blocking as needed; the dual of
+    /// write_burst.
+    void read_burst(T* dst, std::size_t n) {
+        maybe_injected_stall("read_burst");
+        std::size_t done = 0;
+        while (done < n) {
+            if (!data_available()) wait_for_data("read_burst");
+            const std::size_t avail =
+                static_cast<std::size_t>(tail_cache_ - head_pos_);
+            std::size_t chunk = n - done;
+            if (chunk > avail) chunk = avail;
+            for (std::size_t i = 0; i < chunk; ++i)
+                dst[done + i] = std::move(ring_[wrap(head_pos_ + i)]);
+            publish_head(head_pos_ + chunk);
+            done += chunk;
+        }
+    }
+
+    /// Non-blocking write. An injected stall for this pipe is realized as a
+    /// refusal -- the operation behaves as if the ring were full, the same
+    /// "peer made no progress" semantics the blocking API turns into a
+    /// watchdog timeout.
     [[nodiscard]] bool try_write(const T& value) {
-        std::lock_guard lock(mutex_);
-        if (count_ == capacity_) return false;
-        ring_[(head_ + count_) % capacity_] = value;
-        ++count_;
-        not_empty_.notify_one();
+        if (altis::fault::should_stall_pipe(name_)) return false;
+        if (!space_available()) return false;
+        ring_[wrap(tail_pos_)] = value;
+        publish_tail(tail_pos_ + 1);
         return true;
     }
 
+    /// Non-blocking read; injected stalls refuse, as in try_write.
     [[nodiscard]] bool try_read(T& value) {
-        std::lock_guard lock(mutex_);
-        if (count_ == 0) return false;
-        value = ring_[head_];
-        head_ = (head_ + 1) % capacity_;
-        --count_;
-        not_full_.notify_one();
+        if (altis::fault::should_stall_pipe(name_)) return false;
+        if (!data_available()) return false;
+        value = std::move(ring_[wrap(head_pos_)]);
+        publish_head(head_pos_ + 1);
         return true;
     }
 
@@ -114,16 +161,112 @@ public:
     [[nodiscard]] std::chrono::milliseconds timeout() const { return timeout_; }
     /// Elements currently buffered (racy under concurrency; for reporting).
     [[nodiscard]] std::size_t occupancy() const {
-        std::lock_guard lock(mutex_);
-        return count_;
+        // Head first: head only grows toward tail, so a tail loaded *after*
+        // head can never be smaller and the difference cannot underflow.
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        const std::uint64_t t = tail_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(t - h);
     }
 
 private:
+    [[nodiscard]] std::size_t wrap(std::uint64_t pos) const {
+        // Conditional wrap instead of %: positions advance monotonically and
+        // the producer/consumer each derive their slot from their own
+        // counter, so slot == pos - k*capacity with k growing by at most one
+        // capacity per call; a subtract loop would also work but the single
+        // modulo here is only reached through the cached fast checks below.
+        return static_cast<std::size_t>(pos % capacity_);
+    }
+
+    /// Producer-side fast check: true when at least one slot is free,
+    /// refreshing the cached consumer position only on apparent full.
+    [[nodiscard]] bool space_available() {
+        if (tail_pos_ - head_cache_ < capacity_) return true;
+        head_cache_ = head_.load(std::memory_order_acquire);
+        return tail_pos_ - head_cache_ < capacity_;
+    }
+
+    /// Consumer-side fast check, dual of space_available().
+    [[nodiscard]] bool data_available() {
+        if (tail_cache_ - head_pos_ > 0) return true;
+        tail_cache_ = tail_.load(std::memory_order_acquire);
+        return tail_cache_ - head_pos_ > 0;
+    }
+
+    void publish_tail(std::uint64_t pos) {
+        tail_pos_ = pos;
+        tail_.store(pos, std::memory_order_release);
+        // Dekker handshake with a parked consumer: the fence orders the
+        // counter store before the flag load, pairing with the fence in
+        // park(); either we see the flag and notify, or the waiter's
+        // re-check sees the counter.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (consumer_waiting_.load(std::memory_order_relaxed)) {
+            std::lock_guard lock(mutex_);
+            not_empty_.notify_one();
+        }
+    }
+
+    void publish_head(std::uint64_t pos) {
+        head_pos_ = pos;
+        head_.store(pos, std::memory_order_release);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (producer_waiting_.load(std::memory_order_relaxed)) {
+            std::lock_guard lock(mutex_);
+            not_full_.notify_one();
+        }
+    }
+
+    void wait_for_space(const char* op) {
+        wait_until(op, producer_waiting_, not_full_,
+                   [&] { return space_available(); });
+    }
+
+    void wait_for_data(const char* op) {
+        wait_until(op, consumer_waiting_, not_empty_,
+                   [&] { return data_available(); });
+    }
+
+    /// Slow path shared by both sides: spin briefly (the peer usually
+    /// publishes within a few hundred cycles when running), yield the
+    /// timeslice a few times (essential when producer and consumer share a
+    /// core), then park on the condvar in bounded slices until the watchdog
+    /// deadline. The slices also bound the cost of the one benign race the
+    /// handshake leaves: a notification skipped because the flag store and
+    /// the counter load crossed costs at most one slice, never a hang.
+    template <typename Ready>
+    void wait_until(const char* op, std::atomic<bool>& waiting_flag,
+                    std::condition_variable& cv, Ready&& ready) {
+        for (int spin = 0; spin < 64; ++spin) {
+            if (ready()) return;
+        }
+        for (int yields = 0; yields < 16; ++yields) {
+            std::this_thread::yield();
+            if (ready()) return;
+        }
+        const auto deadline = std::chrono::steady_clock::now() + timeout_;
+        constexpr auto kSlice = std::chrono::milliseconds(1);
+        std::unique_lock lock(mutex_);
+        waiting_flag.store(true, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        for (;;) {
+            if (ready()) break;
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) {
+                waiting_flag.store(false, std::memory_order_relaxed);
+                throw pipe_deadlock(deadlock_message(op));
+            }
+            cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
+                                  kSlice, deadline - now));
+        }
+        waiting_flag.store(false, std::memory_order_relaxed);
+    }
+
     std::string deadlock_message(const char* op) const {
         return "pipe '" + name_ + "' " + op + " timed out after " +
                std::to_string(timeout_.count()) + " ms (capacity " +
                std::to_string(capacity_) + ", occupancy " +
-               std::to_string(count_) + "/" + std::to_string(capacity_) +
+               std::to_string(occupancy()) + "/" + std::to_string(capacity_) +
                ") -- are both kernels running in a dataflow group?";
     }
 
@@ -141,9 +284,26 @@ private:
     std::string name_;
     std::chrono::milliseconds timeout_;
     std::vector<T> ring_;
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
-    mutable std::mutex mutex_;
+
+    /// Consumer-published position; on its own cache line so producer
+    /// polling does not bounce the consumer's working set.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    /// Producer-published position.
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    /// Producer-owned mirror of tail_ plus its cached view of head_ (only
+    /// refreshed when the ring looks full) -- the fast path reads no line
+    /// the consumer writes.
+    alignas(64) std::uint64_t tail_pos_ = 0;
+    std::uint64_t head_cache_ = 0;
+    std::atomic<bool> producer_waiting_{false};
+    /// Consumer-owned mirrors, dual of the producer's.
+    alignas(64) std::uint64_t head_pos_ = 0;
+    std::uint64_t tail_cache_ = 0;
+    std::atomic<bool> consumer_waiting_{false};
+
+    /// Parking lot: touched only after the spin/yield budget is exhausted
+    /// (empty/full ring or injected stall), never on the per-element path.
+    alignas(64) mutable std::mutex mutex_;
     std::condition_variable not_full_, not_empty_, stall_cv_;
 };
 

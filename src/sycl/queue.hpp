@@ -197,11 +197,15 @@ private:
         std::size_t index = 0;
         std::uint64_t cg = 0;  ///< recorder command-group id (0: none)
         std::string kernel;
-        std::function<void(thread_pool&)> exec;
+        detail::small_function<void(thread_pool&)> exec;
     };
 
     event finish_submit(handler&& h);
-    event record(const perf::kernel_stats& stats, double duration_ns);
+    /// Appends the kernel event; when `name` is non-null its string is moved
+    /// into the event instead of copying stats.name (submissions own their
+    /// handler, so finish_submit can donate the name it no longer needs).
+    event record(const perf::kernel_stats& stats, double duration_ns,
+                 std::string* name = nullptr);
     void record_error_span(const std::string& label);
     void record_transfer_node(bool to_device, const void* base,
                               std::size_t bytes);

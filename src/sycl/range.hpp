@@ -200,15 +200,33 @@ public:
         return local_range_[dim];
     }
 
+    /// Iterates the phase div-free: nested per-dimension loops carry the
+    /// local and global coordinates incrementally instead of delinearizing
+    /// each item's linear index (see handler::parallel_for).
     template <typename F>
     void parallel_for_work_item(F&& f) const {
-        const std::size_t n = local_range_.size();
-        for (std::size_t lin = 0; lin < n; ++lin) {
-            const id<Dims> local = detail::delinearize(lin, local_range_);
-            id<Dims> global;
-            for (int d = 0; d < Dims; ++d)
-                global[d] = gid_[d] * local_range_[d] + local[d];
-            f(h_item<Dims>(global, local, global_range_, local_range_));
+        if constexpr (Dims == 1) {
+            const std::size_t b0 = gid_[0] * local_range_[0];
+            for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+                f(h_item<1>(id<1>(b0 + l0), id<1>(l0), global_range_,
+                            local_range_));
+        } else if constexpr (Dims == 2) {
+            const std::size_t b0 = gid_[0] * local_range_[0];
+            const std::size_t b1 = gid_[1] * local_range_[1];
+            for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+                for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
+                    f(h_item<2>(id<2>(b0 + l0, b1 + l1), id<2>(l0, l1),
+                                global_range_, local_range_));
+        } else {
+            const std::size_t b0 = gid_[0] * local_range_[0];
+            const std::size_t b1 = gid_[1] * local_range_[1];
+            const std::size_t b2 = gid_[2] * local_range_[2];
+            for (std::size_t l0 = 0; l0 < local_range_[0]; ++l0)
+                for (std::size_t l1 = 0; l1 < local_range_[1]; ++l1)
+                    for (std::size_t l2 = 0; l2 < local_range_[2]; ++l2)
+                        f(h_item<3>(id<3>(b0 + l0, b1 + l1, b2 + l2),
+                                    id<3>(l0, l1, l2), global_range_,
+                                    local_range_));
         }
         // Implicit work-group barrier here: the next phase only starts after
         // every work-item finished this one.

@@ -1,0 +1,145 @@
+// Allocation-conscious callable wrappers for the submission hot path.
+//
+// small_function<R(Args...)> is a move-only std::function replacement with
+// inline storage: kernel execution thunks (an nd_range, a user lambda with a
+// handful of accessors) fit in the buffer, so queue::submit performs no heap
+// allocation per command group. Larger captures fall back to the heap with
+// identical semantics, so nothing constrains what a kernel may capture.
+//
+// function_ref<R(Args...)> is a non-owning view of a callable -- two words,
+// trivially copyable, nothing allocated or destroyed. thread_pool takes its
+// work this way: the caller's lambda outlives the blocking parallel_for
+// call by construction, so ownership would only buy an allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace syclite::detail {
+
+template <typename Sig>
+class small_function;  // undefined; only the R(Args...) form below exists
+
+template <typename R, typename... Args>
+class small_function<R(Args...)> {
+    /// Inline capacity: sized for parallel_for thunks (nd_range<3> + a lambda
+    /// with several accessors); measured across the suite's kernels, 120
+    /// bytes keeps every app's submissions on the inline path.
+    static constexpr std::size_t kInlineSize = 120;
+
+public:
+    small_function() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, small_function> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    small_function(F&& f) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+            invoke_ = [](small_function& self, Args... args) -> R {
+                return (*std::launder(reinterpret_cast<Fn*>(self.buffer_)))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](small_function& self, small_function* dst) {
+                Fn* fn = std::launder(reinterpret_cast<Fn*>(self.buffer_));
+                if (dst != nullptr)
+                    ::new (static_cast<void*>(dst->buffer_)) Fn(std::move(*fn));
+                fn->~Fn();
+            };
+        } else {
+            heap_ = new Fn(std::forward<F>(f));
+            invoke_ = [](small_function& self, Args... args) -> R {
+                return (*static_cast<Fn*>(self.heap_))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](small_function& self, small_function* dst) {
+                if (dst != nullptr) {
+                    dst->heap_ = self.heap_;
+                    self.heap_ = nullptr;
+                    return;
+                }
+                delete static_cast<Fn*>(self.heap_);
+            };
+        }
+    }
+
+    small_function(small_function&& other) noexcept { move_from(other); }
+
+    small_function& operator=(small_function&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    small_function(const small_function&) = delete;
+    small_function& operator=(const small_function&) = delete;
+
+    ~small_function() { reset(); }
+
+    R operator()(Args... args) {
+        return invoke_(*this, std::forward<Args>(args)...);
+    }
+
+    [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+private:
+    void move_from(small_function& other) noexcept {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        if (manage_ != nullptr) manage_(other, this);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    void reset() noexcept {
+        if (manage_ != nullptr) manage_(*this, nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    union {
+        alignas(std::max_align_t) std::byte buffer_[kInlineSize];
+        void* heap_;
+    };
+    R (*invoke_)(small_function&, Args...) = nullptr;
+    /// dst == nullptr: destroy; else: move-construct into dst and destroy.
+    void (*manage_)(small_function&, small_function*) = nullptr;
+};
+
+template <typename Sig>
+class function_ref;  // undefined; only the R(Args...) form below exists
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, function_ref> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    function_ref(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          invoke_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const {
+        return invoke_(obj_, std::forward<Args>(args)...);
+    }
+
+private:
+    void* obj_;
+    R (*invoke_)(void*, Args...);
+};
+
+}  // namespace syclite::detail

@@ -27,62 +27,65 @@ thread_pool::~thread_pool() {
 void thread_pool::run_job(job& j) {
     // Chunked self-scheduling: amortizes the atomic across iterations while
     // staying balanced for irregular per-index costs.
-    const std::size_t chunk =
-        std::max<std::size_t>(1, j.n / ((workers_.size() + 1) * 8));
     for (;;) {
-        const std::size_t begin = j.next.fetch_add(chunk);
+        const std::size_t begin = j.next.fetch_add(j.chunk);
         if (begin >= j.n) break;
-        const std::size_t end = std::min(begin + chunk, j.n);
-        for (std::size_t i = begin; i < end; ++i) (*j.fn)(i);
+        const std::size_t end = std::min(begin + j.chunk, j.n);
+        for (std::size_t i = begin; i < end; ++i) j.fn(i);
     }
 }
 
+thread_pool::job* thread_pool::pick_job() {
+    for (job* j : jobs_)
+        if (j->next.load(std::memory_order_relaxed) < j->n) return j;
+    return nullptr;
+}
+
 void thread_pool::worker_loop() {
-    std::uint64_t seen = 0;
     for (;;) {
         job* j = nullptr;
         {
             std::unique_lock lock(mutex_);
-            wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            wake_.wait(lock, [&] {
+                return stop_ || (j = pick_job()) != nullptr;
+            });
             if (stop_) return;
-            seen = generation_;
-            j = current_;
-            if (j == nullptr) continue;
-            j->active_workers.fetch_add(1);
+            // Joining under the lock pairs with retirement in parallel_for:
+            // once the submitter removes its job from jobs_, no new worker
+            // can raise active_workers, so draining to zero is final.
+            j->active_workers.fetch_add(1, std::memory_order_relaxed);
         }
         run_job(*j);
-        if (j->active_workers.fetch_sub(1) == 1) {
-            // Lock before notifying so the waiter cannot check the predicate
-            // and go to sleep between our decrement and the notification.
+        {
             std::lock_guard lock(mutex_);
-            done_.notify_all();
+            if (j->active_workers.fetch_sub(1, std::memory_order_relaxed) == 1)
+                done_.notify_all();
         }
     }
 }
 
 void thread_pool::parallel_for(std::size_t n,
-                               const std::function<void(std::size_t)>& fn) {
+                               detail::function_ref<void(std::size_t)> fn) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
-    std::lock_guard submit_lock(submit_mutex_);
-    job j;
-    j.fn = &fn;
-    j.n = n;
+    job j(fn, n, std::max<std::size_t>(1, n / ((workers_.size() + 1) * 8)));
     {
         std::lock_guard lock(mutex_);
-        current_ = &j;
-        ++generation_;
+        jobs_.push_back(&j);
     }
     wake_.notify_all();
     run_job(j);
     {
-        // Wait for workers that picked up the job to drain before j dies.
+        // Retire the job, then wait for workers that joined it to drain
+        // before j (on our stack) dies.
         std::unique_lock lock(mutex_);
-        current_ = nullptr;
-        done_.wait(lock, [&] { return j.active_workers.load() == 0; });
+        jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &j));
+        done_.wait(lock, [&] {
+            return j.active_workers.load(std::memory_order_relaxed) == 0;
+        });
     }
 }
 

@@ -1,13 +1,21 @@
 // Minimal work-sharing thread pool used to execute work-groups in parallel.
+//
+// Jobs are concurrent: each parallel_for publishes its own job onto a work
+// list and every pool worker self-schedules chunks from whichever published
+// jobs still have work, so N dataflow kernels issuing ND-Range launches at
+// once share the workers instead of queueing behind a submission lock
+// (docs/PERFORMANCE.md). The calling thread always participates in its own
+// job, so progress never depends on a worker being free.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sycl/small_function.hpp"
 
 namespace syclite {
 
@@ -23,9 +31,11 @@ public:
 
     /// Runs fn(i) for i in [0, n); blocks until complete. The calling thread
     /// participates. fn must be safe to call concurrently for distinct i.
-    /// Safe to call from multiple threads (calls are serialized), which
-    /// dataflow groups with ND-Range members rely on.
-    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+    /// Safe to call from multiple threads, and concurrent calls execute
+    /// concurrently -- dataflow groups with ND-Range members rely on this.
+    /// fn is borrowed, not owned (it outlives the call by construction), so
+    /// submission allocates nothing.
+    void parallel_for(std::size_t n, detail::function_ref<void(std::size_t)> fn);
 
     [[nodiscard]] unsigned worker_count() const {
         return static_cast<unsigned>(workers_.size());
@@ -38,21 +48,33 @@ private:
     void worker_loop();
 
     struct job {
-        const std::function<void(std::size_t)>* fn = nullptr;
-        std::size_t n = 0;
-        std::atomic<std::size_t> next{0};
-        std::atomic<std::size_t> active_workers{0};
+        job(detail::function_ref<void(std::size_t)> f, std::size_t count,
+            std::size_t chunk_size)
+            : fn(f), n(count), chunk(chunk_size) {}
+
+        detail::function_ref<void(std::size_t)> fn;
+        std::size_t n;
+        std::size_t chunk;
+        /// next and active_workers sit on separate cache lines: next is
+        /// hammered by every participant's fetch_add while active_workers
+        /// only changes on join/leave, and sharing a line would put that
+        /// contention on the scheduling path of every chunk.
+        alignas(64) std::atomic<std::size_t> next{0};
+        alignas(64) std::atomic<std::size_t> active_workers{0};
     };
 
-    void run_job(job& j);
+    static void run_job(job& j);
+    /// Returns the first published job with unclaimed work, else nullptr.
+    /// Caller must hold mutex_.
+    [[nodiscard]] job* pick_job();
 
     std::vector<std::thread> workers_;
-    std::mutex submit_mutex_;  ///< serializes concurrent parallel_for calls
     std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    job* current_ = nullptr;
-    std::uint64_t generation_ = 0;
+    /// Jobs with possibly-unclaimed work; publication and retirement happen
+    /// under mutex_, claiming chunks is lock-free via job::next.
+    std::vector<job*> jobs_;
     bool stop_ = false;
 };
 

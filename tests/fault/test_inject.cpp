@@ -116,5 +116,30 @@ TEST(FaultInject, PipeRuleStallsViaShouldStallPipe) {
     EXPECT_FALSE(should_stall_pipe("kmeans_map"));  // rule exhausted
 }
 
+TEST(FaultInject, TryWriteRealizesStallAsRefusal) {
+    // The non-blocking API consumes the same `pipe:<name>@N` rules as the
+    // blocking one; a stall surfaces as a refusal (as if the ring were
+    // full/empty), not as a block.
+    plan p = plan::parse("pipe:refused@1");
+    scope s(p);
+    sl::pipe<int> pp(4, "refused");
+    EXPECT_FALSE(pp.try_write(1));   // stall consumed here
+    EXPECT_TRUE(pp.try_write(2));    // rule exhausted: normal behavior
+    int v = 0;
+    EXPECT_TRUE(pp.try_read(v));
+    EXPECT_EQ(v, 2);
+}
+
+TEST(FaultInject, TryReadRealizesStallAsRefusal) {
+    plan p = plan::parse("pipe:refused@2");
+    scope s(p);
+    sl::pipe<int> pp(4, "refused");
+    ASSERT_TRUE(pp.try_write(7));    // first match: not the 2nd op yet
+    int v = 0;
+    EXPECT_FALSE(pp.try_read(v));    // second matching op: refused
+    EXPECT_TRUE(pp.try_read(v));
+    EXPECT_EQ(v, 7);
+}
+
 }  // namespace
 }  // namespace altis::fault

@@ -1,0 +1,30 @@
+# Runs BIN and byte-compares its combined stdout+stderr against GOLDEN.
+# Used by the golden_fig* ctest entries: the fast-path execution engine may
+# only change wall-clock, never the simulated timings or any ResultDatabase
+# output (docs/PERFORMANCE.md), and this is the gate that enforces it.
+#
+# Regenerate a golden after an *intentional* timing-model change with:
+#   ./build/bench/<bin> > tests/golden/<bin>.txt 2>&1
+
+if(NOT DEFINED BIN OR NOT DEFINED GOLDEN)
+    message(FATAL_ERROR "compare.cmake requires -DBIN=... and -DGOLDEN=...")
+endif()
+
+execute_process(
+    COMMAND "${BIN}"
+    OUTPUT_VARIABLE got
+    ERROR_VARIABLE got_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} exited with ${rc}:\n${got}${got_err}")
+endif()
+
+file(READ "${GOLDEN}" want)
+string(APPEND got "${got_err}")
+if(NOT got STREQUAL want)
+    file(WRITE "${GOLDEN}.actual" "${got}")
+    message(FATAL_ERROR
+        "output of ${BIN} differs from golden ${GOLDEN} -- the execution "
+        "engine must not change simulated output (diff against "
+        "${GOLDEN}.actual)")
+endif()

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstddef>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace syclite {
@@ -43,6 +45,60 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
 
 TEST(ThreadPool, GlobalPoolSingleton) {
     EXPECT_EQ(&thread_pool::global(), &thread_pool::global());
+}
+
+/// The dataflow shape: several worker threads issue parallel_for jobs to one
+/// shared pool *concurrently*. Every job must cover exactly its own index
+/// space even while the pool's workers drift between jobs.
+TEST(ThreadPool, ConcurrentJobsFromManySubmitters) {
+    thread_pool pool(4);
+    constexpr int kSubmitters = 6;
+    constexpr std::size_t kN = 20000;
+    constexpr int kRounds = 10;
+    std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+    for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t)
+        submitters.emplace_back([&pool, &hits, t] {
+            for (int round = 0; round < kRounds; ++round)
+                pool.parallel_for(kN, [&hits, t](std::size_t i) {
+                    hits[static_cast<std::size_t>(t)][i].fetch_add(
+                        1, std::memory_order_relaxed);
+                });
+        });
+    for (auto& s : submitters) s.join();
+    for (int t = 0; t < kSubmitters; ++t)
+        for (std::size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(hits[static_cast<std::size_t>(t)][i].load(), kRounds)
+                << "submitter " << t << " index " << i;
+}
+
+/// Jobs of very different sizes must not starve each other: a long job and
+/// many short jobs run together and all complete.
+TEST(ThreadPool, MixedSizeConcurrentJobsAllComplete) {
+    thread_pool pool(3);
+    std::atomic<long> long_sum{0};
+    std::atomic<int> short_jobs_done{0};
+    std::thread long_submitter([&] {
+        pool.parallel_for(1 << 18, [&](std::size_t) {
+            long_sum.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    std::thread short_submitter([&] {
+        for (int j = 0; j < 200; ++j) {
+            std::atomic<int> count{0};
+            pool.parallel_for(16, [&](std::size_t) {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+            ASSERT_EQ(count.load(), 16);
+            short_jobs_done.fetch_add(1);
+        }
+    });
+    long_submitter.join();
+    short_submitter.join();
+    EXPECT_EQ(long_sum.load(), 1 << 18);
+    EXPECT_EQ(short_jobs_done.load(), 200);
 }
 
 }  // namespace
