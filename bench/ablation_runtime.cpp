@@ -10,10 +10,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "metrics/export.hpp"
+#include "metrics/session.hpp"
 #include "sycl/syclite.hpp"
 
 namespace {
@@ -227,7 +232,32 @@ int main(int argc, char** argv) {
     int argn = static_cast<int>(args.size());
     benchmark::Initialize(&argn, args.data());
     if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
+    // The recorded report doubles as a telemetry baseline: run the suite
+    // under a metrics session and embed the snapshot, so compare_bench.py
+    // can diff engine counters (pool busy ns, pipe parks, ...) alongside
+    // the timings between two recorded runs.
+    std::optional<altis::metrics::session> msession;
+    if (json) msession.emplace("ablation_runtime");
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    if (msession) {
+        msession->stop();
+        std::string report;
+        {
+            std::ifstream in(out_path);
+            std::stringstream buf;
+            buf << in.rdbuf();
+            report = buf.str();
+        }
+        const std::size_t brace = report.rfind('}');
+        if (brace != std::string::npos) {
+            std::ostringstream mjson;
+            altis::metrics::write_json(msession->take_snapshot(),
+                                       msession->series(), mjson);
+            report.insert(brace, ",\n  \"altis_metrics\": " + mjson.str());
+            std::ofstream out(out_path, std::ios::trunc);
+            out << report;
+        }
+    }
     return 0;
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two recorded ablation_runtime reports.
+
+Usage: compare_bench.py OLD.json NEW.json [--threshold 0.25]
+
+Both inputs are google-benchmark JSON reports as written by
+`bench/ablation_runtime --json` (which also embeds an `altis_metrics`
+snapshot, see docs/OBSERVABILITY.md). The gate:
+
+  * fails (exit 1) when any *gated* benchmark's real_time regressed by more
+    than --threshold relative to the baseline. Gated benchmarks are the
+    dispatch and pipe paths (BM_ParallelFor*, BM_PipeThroughput*) -- the two
+    the paper's dataflow designs lean on hardest;
+  * reports every other benchmark's delta informationally;
+  * diffs the embedded engine telemetry (counters only: pool jobs, pipe
+    parks, ...) informationally, so a timing regression arrives with the
+    counter shifts that usually explain it;
+  * exits 0 with a note when the baseline is missing or unreadable (first
+    run of a new repo/branch has no previous artifact to compare against).
+"""
+
+import argparse
+import json
+import sys
+
+GATED_PREFIXES = ("BM_ParallelFor", "BM_PipeThroughput")
+
+
+def load_report(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def benchmark_times(report):
+    """name -> real_time (ns); aggregate entries are skipped."""
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        if name is None or "real_time" not in b:
+            continue
+        times[name] = float(b["real_time"])
+    return times
+
+
+def metric_totals(report):
+    """counter name -> value from the embedded altis_metrics snapshot."""
+    snap = report.get("altis_metrics")
+    if not isinstance(snap, dict):
+        return {}
+    totals = {}
+    for m in snap.get("metrics", []):
+        if m.get("type") == "counter" and "value" in m:
+            totals[m["name"]] = float(m["value"])
+    return totals
+
+
+def is_gated(name):
+    return any(name.startswith(p) for p in GATED_PREFIXES)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old", help="baseline BENCH_runtime.json")
+    ap.add_argument("new", help="current BENCH_runtime.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed relative real_time regression on "
+                         "gated benchmarks (default 0.25 = +25%%)")
+    args = ap.parse_args()
+
+    try:
+        old_report = load_report(args.old)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: no usable baseline ({e}); skipping gate")
+        return 0
+    try:
+        new_report = load_report(args.new)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot read current report: {e}",
+              file=sys.stderr)
+        return 2
+
+    old_times = benchmark_times(old_report)
+    new_times = benchmark_times(new_report)
+    if not old_times:
+        print("compare_bench: baseline has no benchmarks; skipping gate")
+        return 0
+
+    failures = []
+    for name in sorted(new_times):
+        if name not in old_times or old_times[name] <= 0:
+            print(f"  NEW    {name}: {new_times[name]:.1f} ns (no baseline)")
+            continue
+        delta = (new_times[name] - old_times[name]) / old_times[name]
+        gate = "GATED " if is_gated(name) else "      "
+        print(f"  {gate}{name}: {old_times[name]:.1f} -> "
+              f"{new_times[name]:.1f} ns ({delta:+.1%})")
+        if is_gated(name) and delta > args.threshold:
+            failures.append((name, delta))
+
+    old_metrics = metric_totals(old_report)
+    new_metrics = metric_totals(new_report)
+    shifts = []
+    for name in sorted(set(old_metrics) | set(new_metrics)):
+        ov, nv = old_metrics.get(name, 0.0), new_metrics.get(name, 0.0)
+        if ov == nv:
+            continue
+        rel = f" ({(nv - ov) / ov:+.1%})" if ov > 0 else ""
+        shifts.append(f"  {name}: {ov:.0f} -> {nv:.0f}{rel}")
+    if shifts:
+        print("engine telemetry shifts (informational):")
+        print("\n".join(shifts))
+
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} gated benchmark(s) "
+              f"regressed beyond +{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in failures:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\ncompare_bench: OK (gated regressions within "
+          f"+{args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 //                                                    # any warning-or-worse
 #include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "core/option_parser.hpp"
 #include "core/registry.hpp"
 #include "core/result_database.hpp"
+#include "metrics/options.hpp"
+#include "metrics/session.hpp"
 
 namespace {
 
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
     opts.add_flag("functional-only", "skip the descriptor (perf-lint) pass");
     opts.add_flag("descriptors-only", "skip the functional (hazard) pass");
     analyze::add_sanitize_options(opts);
+    metrics::add_metrics_options(opts);
 
     analyze::options aopts;
     try {
@@ -104,6 +108,12 @@ int main(int argc, char** argv) {
             return 2;
         }
     }
+
+    // The functional pass executes real kernels, so --metrics reports the
+    // engine telemetry of the lint run like any other harness binary.
+    const metrics::options mopts = metrics::options::from(opts);
+    std::optional<metrics::session> msession;
+    if (mopts.enabled()) msession.emplace("altis_lint");
 
     analyze::recorder rec(aopts.lv);
     int failures = 0;
@@ -162,6 +172,9 @@ int main(int argc, char** argv) {
     }
 
     const int rc = analyze::finish(rec, aopts, std::cout, std::cerr);
+    if (msession &&
+        !metrics::finish_metrics(*msession, mopts, std::cout, std::cerr))
+        return 2;
     if (rc == 2 || failures != 0) return rc == 2 ? 2 : 1;
     return rc;
 }

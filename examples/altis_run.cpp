@@ -20,6 +20,8 @@
 #include "core/result_database.hpp"
 #include "fault/inject.hpp"
 #include "fault/options.hpp"
+#include "metrics/options.hpp"
+#include "metrics/session.hpp"
 #include "trace/options.hpp"
 
 int main(int argc, char** argv) {
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
     trace::add_trace_options(opts);
     fault::add_fault_options(opts);
     analyze::add_sanitize_options(opts);
+    metrics::add_metrics_options(opts);
 
     analyze::options aopts;
     try {
@@ -103,6 +106,12 @@ int main(int argc, char** argv) {
     const trace::options topts = trace::options::from(opts);
     trace::session tsession("altis_run");
     trace::session::scope tscope(tsession);
+
+    // With --metrics active, the execution engine's wall-clock telemetry
+    // (queue/pool/pipe/allocator instruments) collects for the whole run.
+    const metrics::options mopts = metrics::options::from(opts);
+    std::optional<metrics::session> msession;
+    if (mopts.enabled()) msession.emplace("altis_run");
 
     // With --sanitize active, every queue the apps construct feeds the
     // command graph of this recorder; the passes run after the loop.
@@ -210,9 +219,16 @@ int main(int argc, char** argv) {
             analyze::finish(*sanitizer, aopts, std::cout, std::cerr, sink);
         if (sanitize_rc == 2) return 2;
     }
+    // Stop metrics first so the finished series can merge into the Perfetto
+    // export as counter tracks.
+    if (msession) msession->stop();
     if (topts.enabled() &&
         !trace::finish_session(tsession, topts, tsession.last_end_ns(),
-                               std::cout, std::cerr))
+                               std::cout, std::cerr,
+                               msession ? &*msession : nullptr))
+        return 2;
+    if (msession &&
+        !metrics::finish_metrics(*msession, mopts, std::cout, std::cerr))
         return 2;
     if (failures != 0) return 1;
     return sanitize_rc;

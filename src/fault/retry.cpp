@@ -4,6 +4,7 @@
 
 #include "core/result_database.hpp"
 #include "fault/inject.hpp"
+#include "metrics/instruments.hpp"
 
 namespace altis::fault {
 
@@ -32,16 +33,25 @@ outcome run_guarded(const std::function<void()>& fn, const retry_policy& policy,
         } catch (const injected_fault& f) {
             oc.error = f.what();
             if (!f.retryable() || attempt >= max_attempts) {
+                if (metrics::collecting())
+                    metrics::instruments::fault_failures().add();
                 if (fail_fast) throw;
                 oc.st = outcome::status::failed;
                 return oc;
             }
             const double backoff = policy.backoff_ms(attempt - 1);
             oc.backoff_ms += backoff;
+            if (metrics::collecting()) {
+                metrics::instruments::fault_retries().add();
+                metrics::instruments::fault_backoff_ns().add(
+                    static_cast<std::uint64_t>(backoff * 1e6));
+            }
             if (on_retry) on_retry(attempt, oc.error, backoff);
         } catch (const std::exception& e) {
             // Anything that is not an injected fault is a real defect of the
             // configuration -- retrying cannot help.
+            if (metrics::collecting())
+                metrics::instruments::fault_failures().add();
             if (fail_fast) throw;
             oc.st = outcome::status::failed;
             oc.error = e.what();

@@ -1,0 +1,222 @@
+// Catalog of the runtime's wall-clock instruments. Every metric the
+// functional substrate emits is declared here, in one place, so the name,
+// help text and type that reach the Prometheus/JSON exports (and the table
+// in docs/OBSERVABILITY.md) cannot drift from the instrumentation sites.
+//
+// Each accessor registers on first use (mutex-guarded, cold) and afterwards
+// returns the cached reference. Call sites must gate on
+// metrics::collecting() first -- the accessors themselves are cheap but not
+// free (a static-init guard check), and the clock reads that usually feed
+// them are not either.
+#pragma once
+
+#include "metrics/registry.hpp"
+
+namespace altis::metrics::instruments {
+
+// ---- syclite::queue -------------------------------------------------------
+
+inline counter& queue_submissions() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_queue_submissions_total",
+        "Kernel submissions accepted by syclite::queue (sequential and "
+        "dataflow)");
+    return c;
+}
+
+inline histogram& queue_submit_latency_ns() {
+    static histogram& h = registry::instance().get_histogram(
+        "syclite_queue_submit_latency_ns",
+        "Wall-clock ns from submit() entry to functional completion of the "
+        "command group");
+    return h;
+}
+
+inline gauge& queue_inflight_kernels() {
+    static gauge& g = registry::instance().get_gauge(
+        "syclite_queue_inflight_kernels",
+        "Kernels currently executing on the functional substrate");
+    return g;
+}
+
+inline counter& queue_waits() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_queue_waits_total", "queue::wait() synchronizations");
+    return c;
+}
+
+inline counter& queue_async_errors() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_queue_async_errors_total",
+        "Errors captured for asynchronous delivery (handler installed) or "
+        "raised from kernel execution");
+    return c;
+}
+
+inline counter& queue_dataflow_groups() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_queue_dataflow_groups_total",
+        "Dataflow groups launched via end_dataflow()");
+    return c;
+}
+
+// ---- syclite::thread_pool -------------------------------------------------
+
+inline counter& pool_worker_busy_ns() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pool_worker_busy_ns",
+        "Wall-clock ns pool workers spent executing job chunks");
+    return c;
+}
+
+inline counter& pool_worker_idle_ns() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pool_worker_idle_ns",
+        "Wall-clock ns pool workers spent parked waiting for work");
+    return c;
+}
+
+inline counter& pool_jobs() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pool_jobs_total", "parallel_for jobs published to the pool");
+    return c;
+}
+
+inline counter& pool_chunks() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pool_chunks_total",
+        "Work chunks self-scheduled by job participants (submitter and "
+        "workers)");
+    return c;
+}
+
+inline gauge& pool_active_workers() {
+    static gauge& g = registry::instance().get_gauge(
+        "syclite_pool_active_workers",
+        "Pool workers currently executing a job (excludes the submitting "
+        "thread)");
+    return g;
+}
+
+// ---- syclite::pipe --------------------------------------------------------
+
+inline watermark& pipe_occupancy_hwm() {
+    static watermark& w = registry::instance().get_watermark(
+        "syclite_pipe_occupancy_hwm",
+        "High-water mark of buffered elements across all pipes");
+    return w;
+}
+
+inline counter& pipe_items() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pipe_items_total",
+        "Elements moved through pipes (writes; element and burst APIs)");
+    return c;
+}
+
+inline histogram& pipe_burst_items() {
+    static histogram& h = registry::instance().get_histogram(
+        "syclite_pipe_burst_items",
+        "Span length per write_burst/read_burst call");
+    return h;
+}
+
+inline counter& pipe_blocked_write_ns() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pipe_blocked_write_ns",
+        "Wall-clock ns producers spent waiting for ring space");
+    return c;
+}
+
+inline counter& pipe_blocked_read_ns() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pipe_blocked_read_ns",
+        "Wall-clock ns consumers spent waiting for ring data");
+    return c;
+}
+
+inline counter& pipe_parks() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pipe_parks_total",
+        "Times a pipe endpoint exhausted its spin/yield budget and parked on "
+        "the condvar");
+    return c;
+}
+
+inline counter& pipe_wakes() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_pipe_wakes_total",
+        "Dekker-handshake notifications sent to a parked peer");
+    return c;
+}
+
+// ---- allocators (USM + buffers) ------------------------------------------
+
+inline gauge& usm_live_bytes() {
+    static gauge& g = registry::instance().get_gauge(
+        "syclite_usm_live_bytes", "Bytes currently allocated through USM");
+    return g;
+}
+
+inline watermark& usm_peak_bytes() {
+    static watermark& w = registry::instance().get_watermark(
+        "syclite_usm_peak_bytes", "Peak USM bytes live at once");
+    return w;
+}
+
+inline counter& usm_allocs() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_usm_allocs_total", "USM allocations (malloc_host/device/shared)");
+    return c;
+}
+
+inline counter& usm_frees() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_usm_frees_total", "USM frees");
+    return c;
+}
+
+inline gauge& buffer_live_bytes() {
+    static gauge& g = registry::instance().get_gauge(
+        "syclite_buffer_live_bytes",
+        "Bytes currently held by live syclite::buffer objects");
+    return g;
+}
+
+inline watermark& buffer_peak_bytes() {
+    static watermark& w = registry::instance().get_watermark(
+        "syclite_buffer_peak_bytes", "Peak buffer bytes live at once");
+    return w;
+}
+
+inline counter& buffer_allocs() {
+    static counter& c = registry::instance().get_counter(
+        "syclite_buffer_allocs_total", "syclite::buffer constructions");
+    return c;
+}
+
+// ---- altis::fault ---------------------------------------------------------
+
+inline counter& fault_retries() {
+    static counter& c = registry::instance().get_counter(
+        "altis_fault_retries_total",
+        "Retries performed by fault::run_guarded after retryable faults");
+    return c;
+}
+
+inline counter& fault_backoff_ns() {
+    static counter& c = registry::instance().get_counter(
+        "altis_fault_backoff_ns_total",
+        "Accounted (simulated) exponential-backoff ns across retries");
+    return c;
+}
+
+inline counter& fault_failures() {
+    static counter& c = registry::instance().get_counter(
+        "altis_fault_failures_total",
+        "run_guarded outcomes that exhausted retries or hit non-retryable "
+        "errors");
+    return c;
+}
+
+}  // namespace altis::metrics::instruments

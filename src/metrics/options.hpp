@@ -1,0 +1,42 @@
+// Shared CLI/env wiring for wall-clock metrics, following the trace/fault
+// options pattern so every harness binary behaves identically:
+//
+//   --metrics              collect runtime telemetry and print a summary of
+//                          the non-zero metrics after the run; defaults on
+//                          when $ALTIS_METRICS is set
+//   --metrics-prom <file>  write the Prometheus text exposition (implies
+//                          --metrics)
+//   --metrics-json <file>  write the structured JSON snapshot + sampler
+//                          series (implies --metrics)
+//
+// The sampler period comes from $ALTIS_METRICS_HZ (default 100 Hz).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/option_parser.hpp"
+#include "metrics/session.hpp"
+
+namespace altis::metrics {
+
+void add_metrics_options(OptionParser& opts);
+
+struct options {
+    bool metrics = false;
+    std::string prom_path;  ///< empty: no Prometheus file
+    std::string json_path;  ///< empty: no JSON file
+
+    [[nodiscard]] bool enabled() const {
+        return metrics || !prom_path.empty() || !json_path.empty();
+    }
+    [[nodiscard]] static options from(const OptionParser& opts);
+};
+
+/// Stops the session, writes the requested artifacts and prints the summary
+/// (for bare --metrics). Returns false (after a message on `err`) when a
+/// file could not be written.
+bool finish_metrics(session& s, const options& opt, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace altis::metrics

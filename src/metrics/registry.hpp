@@ -1,0 +1,86 @@
+// Process-wide instrument registry. Instrumentation sites ask for an
+// instrument once (by Prometheus-style name + optional static labels) and
+// keep the reference: registration is a mutex-guarded map lookup on the cold
+// path, updates afterwards never touch the registry. Instruments live in
+// deques, so references stay valid for the process lifetime; asking for the
+// same (name, labels) twice returns the same instrument, which is what makes
+// per-template-instantiation static references in pipe<T> safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace altis::metrics {
+
+enum class instrument_kind { counter, gauge, watermark, histogram };
+
+[[nodiscard]] const char* to_string(instrument_kind k);
+
+/// Static labels attached at registration (e.g. {"worker", "3"}). Order is
+/// preserved into the exports.
+using label_set = std::vector<std::pair<std::string, std::string>>;
+
+/// Descriptor of one registered instrument; exporters walk these.
+struct instrument_info {
+    std::string name;  ///< Prometheus metric name (snake_case, unit-suffixed)
+    std::string help;  ///< one-line description for # HELP / JSON
+    instrument_kind kind = instrument_kind::counter;
+    label_set labels;
+
+    const class counter* ctr = nullptr;
+    const class gauge* gge = nullptr;
+    const class watermark* wmk = nullptr;
+    const class histogram* hst = nullptr;
+};
+
+class registry {
+public:
+    static registry& instance();
+
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    /// Find-or-create. The help string of the first registration wins.
+    counter& get_counter(const std::string& name, const std::string& help,
+                         label_set labels = {});
+    gauge& get_gauge(const std::string& name, const std::string& help,
+                     label_set labels = {});
+    watermark& get_watermark(const std::string& name, const std::string& help,
+                             label_set labels = {});
+    histogram& get_histogram(const std::string& name, const std::string& help,
+                             label_set labels = {});
+
+    /// Stable snapshot of the registered instrument descriptors (the
+    /// instruments themselves keep collecting; only the list is copied).
+    [[nodiscard]] std::vector<instrument_info> instruments() const;
+
+    /// Zero every registered instrument (session start: one process may host
+    /// several sessions in sequence and each reports its own interval).
+    void reset_all();
+
+private:
+    registry() = default;
+
+    struct entry {
+        instrument_info info;
+    };
+
+    /// Registration key: name plus serialized labels.
+    [[nodiscard]] static std::string key_of(const std::string& name,
+                                            const label_set& labels);
+
+    mutable std::mutex mutex_;
+    std::deque<counter> counters_;
+    std::deque<gauge> gauges_;
+    std::deque<watermark> watermarks_;
+    std::deque<histogram> histograms_;
+    std::vector<entry> entries_;
+};
+
+}  // namespace altis::metrics

@@ -1,0 +1,136 @@
+#include "metrics/session.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace altis::metrics {
+
+namespace {
+session* g_current = nullptr;
+}  // namespace
+
+session::config session::config::from_env() {
+    config c;
+    if (const char* env = std::getenv("ALTIS_METRICS_HZ")) {
+        char* end = nullptr;
+        const double hz = std::strtod(env, &end);
+        if (end != env && *end == '\0') c.sample_hz = hz;
+    }
+    return c;
+}
+
+session* session::current() { return g_current; }
+
+session::session(std::string name, config cfg)
+    : name_(std::move(name)), cfg_(cfg) {
+    if (g_current != nullptr)
+        throw std::logic_error(
+            "metrics::session: a session is already active");
+    g_current = this;
+    // Each session reports its own interval; instruments registered by
+    // earlier runs keep their identity but restart from zero.
+    registry::instance().reset_all();
+    start_ = std::chrono::steady_clock::now();
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+    if (cfg_.sample_hz > 0.0)
+        sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+session::~session() {
+    stop();
+    g_current = nullptr;
+}
+
+double session::now_ns() const {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+void session::stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+    if (sampler_.joinable()) {
+        {
+            std::lock_guard lock(sampler_mutex_);
+            sampler_stop_ = true;
+        }
+        sampler_cv_.notify_all();
+        sampler_.join();
+    }
+    // One final sample so even a run shorter than the period yields a
+    // non-empty series with the end-state levels.
+    take_sample();
+    stopped_duration_ns_ = now_ns();
+}
+
+void session::sampler_loop() {
+    const auto period = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / cfg_.sample_hz));
+    std::unique_lock lock(sampler_mutex_);
+    while (!sampler_stop_) {
+        sampler_cv_.wait_for(lock, period);
+        if (sampler_stop_) break;
+        lock.unlock();
+        take_sample();
+        lock.lock();
+    }
+}
+
+void session::take_sample() {
+    const double t = now_ns();
+    for (const instrument_info& info : registry::instance().instruments()) {
+        double v = 0.0;
+        if (info.kind == instrument_kind::gauge)
+            v = static_cast<double>(info.gge->value());
+        else if (info.kind == instrument_kind::watermark)
+            v = static_cast<double>(info.wmk->value());
+        else
+            continue;  // counters/histograms are exported as totals
+        sampled_series* dst = nullptr;
+        for (sampled_series& s : series_)
+            if (s.info.ctr == info.ctr && s.info.gge == info.gge &&
+                s.info.wmk == info.wmk && s.info.hst == info.hst) {
+                dst = &s;
+                break;
+            }
+        if (dst == nullptr) {
+            series_.push_back({info, {}});
+            dst = &series_.back();
+        }
+        dst->samples.emplace_back(t, v);
+    }
+}
+
+snapshot session::take_snapshot() const {
+    snapshot out;
+    out.session_name = name_;
+    out.duration_ns = stopped_ ? stopped_duration_ns_ : now_ns();
+    for (const instrument_info& info : registry::instance().instruments()) {
+        metric_value mv;
+        mv.info = info;
+        switch (info.kind) {
+            case instrument_kind::counter:
+                mv.value = static_cast<std::int64_t>(info.ctr->value());
+                break;
+            case instrument_kind::gauge:
+                mv.value = info.gge->value();
+                break;
+            case instrument_kind::watermark:
+                mv.value = static_cast<std::int64_t>(info.wmk->value());
+                break;
+            case instrument_kind::histogram:
+                mv.hist = info.hst->aggregate();
+                mv.value = static_cast<std::int64_t>(mv.hist.count);
+                break;
+        }
+        out.metrics.push_back(std::move(mv));
+    }
+    return out;
+}
+
+}  // namespace altis::metrics

@@ -14,6 +14,7 @@
 
 #include "analyze/probe.hpp"
 #include "fault/inject.hpp"
+#include "metrics/instruments.hpp"
 
 namespace syclite {
 
@@ -116,21 +117,34 @@ class buffer {
 public:
     /// Uninitialized device-only buffer.
     explicit buffer(std::size_t count)
-        : data_(detail::checked_buffer_count(count, sizeof(T))) {}
+        : data_(detail::checked_buffer_count(count, sizeof(T))) {
+        meter_alloc();
+    }
 
     /// Copy-in from host data; no write-back.
     buffer(const T* src, std::size_t count)
-        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))) {}
+        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))) {
+        meter_alloc();
+    }
 
     /// Copy-in from host data; contents are written back to `src` when the
     /// buffer is destroyed (SYCL host-pointer semantics).
     buffer(T* src, std::size_t count, use_host_ptr_t)
         : data_(src, src + detail::checked_buffer_count(count, sizeof(T))),
-          writeback_(src) {}
+          writeback_(src) {
+        meter_alloc();
+    }
 
     ~buffer() {
         if (writeback_ != nullptr)
             std::memcpy(writeback_, data_.data(), data_.size() * sizeof(T));
+        // Reverse the live-bytes charge only against the session that made
+        // it: a buffer outliving its session (or straddling two) must not
+        // drag the next session's gauge negative.
+        if (metered_bytes_ != 0 && altis::metrics::collecting() &&
+            altis::metrics::collection_epoch() == metered_epoch_)
+            altis::metrics::instruments::buffer_live_bytes().sub(
+                static_cast<std::int64_t>(metered_bytes_));
     }
 
     buffer(const buffer&) = delete;
@@ -155,9 +169,25 @@ public:
     void reset_access_count() { counter_.accesses.store(0); }
 
 private:
+    void meter_alloc() {
+        if (!altis::metrics::collecting()) return;
+        namespace mi = altis::metrics::instruments;
+        metered_bytes_ = byte_size();
+        metered_epoch_ = altis::metrics::collection_epoch();
+        mi::buffer_allocs().add();
+        mi::buffer_live_bytes().add(static_cast<std::int64_t>(metered_bytes_));
+        const std::int64_t live = mi::buffer_live_bytes().value();
+        if (live > 0)
+            mi::buffer_peak_bytes().record(static_cast<std::uint64_t>(live));
+    }
+
     std::vector<T> data_;
     T* writeback_ = nullptr;
     detail::access_counter counter_;
+    /// Bytes charged to the live-bytes gauge at construction (0 when metrics
+    /// were off), and the session epoch the charge belongs to.
+    std::uint64_t metered_bytes_ = 0;
+    std::uint64_t metered_epoch_ = 0;
 };
 
 }  // namespace syclite

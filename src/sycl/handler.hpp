@@ -78,14 +78,19 @@ public:
             {ptr, bytes, detail::to_analyze(mode), analyze::mem_kind::usm});
     }
 
-    /// FPGA Single-Task kernel (Sec. 5.3): f takes no arguments.
+    /// FPGA Single-Task kernel (Sec. 5.3): f takes no arguments. Dispatched
+    /// as a 1-item pool job: parallel_for(1) always runs serially on the
+    /// calling thread, so execution is unchanged, but the kernel's run time
+    /// lands in the pool's busy-time telemetry like every other kernel form.
     template <typename F>
     void single_task(perf::kernel_stats stats, F&& f) {
         stats.form = perf::kernel_form::single_task;
         stats.global_items = 1.0;
         stats.wg_size = 1.0;
         set_kernel(std::move(stats),
-                   [fn = std::forward<F>(f)](thread_pool&) { fn(); });
+                   [fn = std::forward<F>(f)](thread_pool& pool) {
+                       pool.parallel_for(1, [&](std::size_t) { fn(); });
+                   });
     }
 
     /// Opaque library call (oneDPL/oneMKL analogue): executes `f()` on the

@@ -28,6 +28,7 @@
 // the same plan rules but realize the stall as a non-blocking refusal.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "fault/inject.hpp"
+#include "metrics/instruments.hpp"
 
 namespace syclite {
 
@@ -103,6 +105,8 @@ public:
     /// every stretch without progress, like a sequence of write() calls.
     void write_burst(const T* src, std::size_t n) {
         maybe_injected_stall("write_burst");
+        if (altis::metrics::collecting())
+            altis::metrics::instruments::pipe_burst_items().record(n);
         std::size_t done = 0;
         while (done < n) {
             if (!space_available()) wait_for_space("write_burst");
@@ -121,6 +125,8 @@ public:
     /// write_burst.
     void read_burst(T* dst, std::size_t n) {
         maybe_injected_stall("read_burst");
+        if (altis::metrics::collecting())
+            altis::metrics::instruments::pipe_burst_items().record(n);
         std::size_t done = 0;
         while (done < n) {
             if (!data_available()) wait_for_data("read_burst");
@@ -163,9 +169,16 @@ public:
     [[nodiscard]] std::size_t occupancy() const {
         // Head first: head only grows toward tail, so a tail loaded *after*
         // head can never be smaller and the difference cannot underflow.
+        // The two counters are still published independently (and bursts
+        // advance them by whole spans), so between the loads the consumer
+        // may drain and the producer refill: the raw difference can exceed
+        // capacity mid-burst. Clamp the snapshot into [0, capacity] so the
+        // watchdog's capacity+occupancy message and the occupancy gauge can
+        // never report an impossible level.
         const std::uint64_t h = head_.load(std::memory_order_acquire);
         const std::uint64_t t = tail_.load(std::memory_order_acquire);
-        return static_cast<std::size_t>(t - h);
+        const std::uint64_t d = t >= h ? t - h : 0;
+        return std::min(static_cast<std::size_t>(d), capacity_);
     }
 
 private:
@@ -194,6 +207,17 @@ private:
     }
 
     void publish_tail(std::uint64_t pos) {
+        if (altis::metrics::collecting()) {
+            namespace mi = altis::metrics::instruments;
+            mi::pipe_items().add(pos - tail_pos_);
+            // Occupancy from the producer's view: newly published tail minus
+            // the consumer's live position, clamped like occupancy() since
+            // head can lag the slots we just verified free via head_cache_.
+            const std::uint64_t h = head_.load(std::memory_order_relaxed);
+            const std::uint64_t d = pos >= h ? pos - h : 0;
+            mi::pipe_occupancy_hwm().record(
+                std::min<std::uint64_t>(d, capacity_));
+        }
         tail_pos_ = pos;
         tail_.store(pos, std::memory_order_release);
         // Dekker handshake with a parked consumer: the fence orders the
@@ -202,6 +226,8 @@ private:
         // re-check sees the counter.
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (consumer_waiting_.load(std::memory_order_relaxed)) {
+            if (altis::metrics::collecting())
+                altis::metrics::instruments::pipe_wakes().add();
             std::lock_guard lock(mutex_);
             not_empty_.notify_one();
         }
@@ -212,6 +238,8 @@ private:
         head_.store(pos, std::memory_order_release);
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (producer_waiting_.load(std::memory_order_relaxed)) {
+            if (altis::metrics::collecting())
+                altis::metrics::instruments::pipe_wakes().add();
             std::lock_guard lock(mutex_);
             not_full_.notify_one();
         }
@@ -219,12 +247,14 @@ private:
 
     void wait_for_space(const char* op) {
         wait_until(op, producer_waiting_, not_full_,
-                   [&] { return space_available(); });
+                   [&] { return space_available(); },
+                   &altis::metrics::instruments::pipe_blocked_write_ns);
     }
 
     void wait_for_data(const char* op) {
         wait_until(op, consumer_waiting_, not_empty_,
-                   [&] { return data_available(); });
+                   [&] { return data_available(); },
+                   &altis::metrics::instruments::pipe_blocked_read_ns);
     }
 
     /// Slow path shared by both sides: spin briefly (the peer usually
@@ -236,14 +266,32 @@ private:
     /// the counter load crossed costs at most one slice, never a hang.
     template <typename Ready>
     void wait_until(const char* op, std::atomic<bool>& waiting_flag,
-                    std::condition_variable& cv, Ready&& ready) {
+                    std::condition_variable& cv, Ready&& ready,
+                    altis::metrics::counter& (*blocked_ns)()) {
         for (int spin = 0; spin < 64; ++spin) {
             if (ready()) return;
         }
+        // Past the free spins the caller is measurably blocked on its peer;
+        // meter everything from here (yields included) as blocked time.
+        const bool metered = altis::metrics::collecting();
+        const auto blocked_from = metered
+                                      ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
+        const auto meter_blocked = [&] {
+            if (!metered) return;
+            blocked_ns().add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - blocked_from)
+                    .count()));
+        };
         for (int yields = 0; yields < 16; ++yields) {
             std::this_thread::yield();
-            if (ready()) return;
+            if (ready()) {
+                meter_blocked();
+                return;
+            }
         }
+        if (metered) altis::metrics::instruments::pipe_parks().add();
         const auto deadline = std::chrono::steady_clock::now() + timeout_;
         constexpr auto kSlice = std::chrono::milliseconds(1);
         std::unique_lock lock(mutex_);
@@ -254,12 +302,14 @@ private:
             const auto now = std::chrono::steady_clock::now();
             if (now >= deadline) {
                 waiting_flag.store(false, std::memory_order_relaxed);
+                meter_blocked();
                 throw pipe_deadlock(deadlock_message(op));
             }
             cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
                                   kSlice, deadline - now));
         }
         waiting_flag.store(false, std::memory_order_relaxed);
+        meter_blocked();
     }
 
     std::string deadlock_message(const char* op) const {

@@ -4,9 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <chrono>
+#include <cstdint>
+
 #include "analyze/pipes.hpp"
 #include "analyze/sanitize.hpp"
 #include "fault/inject.hpp"
+#include "metrics/instruments.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
 #include "sycl/pipe.hpp"
@@ -16,6 +20,31 @@ namespace syclite {
 namespace fault = altis::fault;
 
 namespace {
+
+/// Wall-clock nanoseconds for telemetry; distinct from the simulated
+/// timeline (sim_now_ns_), which must stay byte-identical with metrics off
+/// or on.
+[[nodiscard]] std::uint64_t wall_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// RAII inc/dec of the in-flight kernel gauge; captures the metering
+/// decision once so the pair always balances even if a session starts or
+/// stops mid-kernel.
+struct inflight_guard {
+    bool metered = altis::metrics::collecting();
+    inflight_guard() {
+        if (metered)
+            altis::metrics::instruments::queue_inflight_kernels().add(1);
+    }
+    ~inflight_guard() {
+        if (metered)
+            altis::metrics::instruments::queue_inflight_kernels().sub(1);
+    }
+};
 
 /// Retires a command group's accessor-lifetime token on every exit path of
 /// the owning scope (success, injected fault, app exception).
@@ -74,6 +103,9 @@ void queue::record_transfer_node(bool to_device, const void* base,
 }
 
 void queue::record_error_span(const std::string& label) {
+    // Count every error event the queue observes, traced or not.
+    if (altis::metrics::collecting())
+        altis::metrics::instruments::queue_async_errors().add();
     if (trace_ == nullptr) return;
     trace::span s{trace::span_kind::overhead, label,
                   trace_base_ns_ + sim_now_ns_, trace_base_ns_ + sim_now_ns_};
@@ -105,6 +137,23 @@ event queue::record(const perf::kernel_stats& stats, double duration_ns,
 }
 
 event queue::finish_submit(handler&& h) {
+    // Submission latency is wall-clock host time spent inside submit() --
+    // bookkeeping plus (outside dataflow groups) the kernel execution
+    // itself, mirroring what a profiler sees on q.submit() in the paper's
+    // in-order queues.
+    const bool metered = altis::metrics::collecting();
+    const std::uint64_t submit_t0 = metered ? wall_ns() : 0;
+    struct latency_guard {
+        bool metered;
+        std::uint64_t t0;
+        ~latency_guard() {
+            if (!metered) return;
+            namespace mi = altis::metrics::instruments;
+            mi::queue_submissions().add();
+            mi::queue_submit_latency_ns().record(wall_ns() - t0);
+        }
+    } submit_latency{metered, submit_t0};
+
     if (!h.has_kernel()) {
         // An empty command group still handed out accessors; their lifetime
         // ends here.
@@ -139,9 +188,13 @@ event queue::finish_submit(handler&& h) {
     try {
         fault::maybe_inject(fault::op_kind::launch, h.stats().name,
                             "kernel launch failed");
+        inflight_guard inflight;
         h.exec_(thread_pool::global());
     } catch (const std::exception& e) {
-        record_error_span(std::string("error: ") + e.what());
+        // Copy the kernel name into the span label *before* anything can
+        // donate h.stats_.name: the error span must keep naming the kernel
+        // even after the handler is torn down.
+        record_error_span("error[" + h.stats().name + "]: " + e.what());
         if (handler_) {
             // SYCL semantics: execution errors are asynchronous -- they
             // surface at the next wait()/throw_asynchronous(), not here.
@@ -205,6 +258,7 @@ void queue::launch_dataflow_workers() {
                 try {
                     fault::maybe_inject(fault::op_kind::launch, name,
                                         "kernel launch failed");
+                    inflight_guard inflight;
                     exec(thread_pool::global());
                     return;
                 } catch (const pipe_deadlock& pd) {
@@ -237,6 +291,8 @@ std::vector<event> queue::end_dataflow() {
     if (!in_dataflow_)
         throw std::logic_error("queue: end_dataflow without begin_dataflow");
     in_dataflow_ = false;
+    if (altis::metrics::collecting())
+        altis::metrics::instruments::queue_dataflow_groups().add();
 
     // Pre-launch pipe lint: with the group's submissions complete but no
     // worker started yet, the static topology can be checked before anything
@@ -366,6 +422,8 @@ void queue::wait() {
     if (in_dataflow_)
         throw std::logic_error("queue: wait() inside a dataflow group -- call "
                                "end_dataflow() first");
+    if (altis::metrics::collecting())
+        altis::metrics::instruments::queue_waits().add();
     const double sync = perf::sync_overhead_ns(rt_, dev_);
     if (trace_ != nullptr)
         trace_->record({trace::span_kind::sync, "wait",

@@ -1,8 +1,24 @@
 #include "sycl/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "metrics/instruments.hpp"
 
 namespace syclite {
+
+namespace {
+
+/// Nanoseconds since an arbitrary epoch; used to meter busy/idle stretches.
+[[nodiscard]] std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
 
 thread_pool::thread_pool(unsigned threads) {
     unsigned n = threads;
@@ -26,12 +42,24 @@ thread_pool::~thread_pool() {
 
 void thread_pool::run_job(job& j) {
     // Chunked self-scheduling: amortizes the atomic across iterations while
-    // staying balanced for irregular per-index costs.
+    // staying balanced for irregular per-index costs. Busy time covers the
+    // whole claim-and-execute stretch for every participant, submitting
+    // thread included, so the metric is meaningful even on a pool with zero
+    // workers.
+    const bool metered = altis::metrics::collecting();
+    const std::uint64_t t0 = metered ? now_ns() : 0;
+    std::uint64_t chunks = 0;
     for (;;) {
         const std::size_t begin = j.next.fetch_add(j.chunk);
         if (begin >= j.n) break;
         const std::size_t end = std::min(begin + j.chunk, j.n);
         for (std::size_t i = begin; i < end; ++i) j.fn(i);
+        ++chunks;
+    }
+    if (metered) {
+        namespace mi = altis::metrics::instruments;
+        mi::pool_worker_busy_ns().add(now_ns() - t0);
+        mi::pool_chunks().add(chunks);
     }
 }
 
@@ -45,17 +73,29 @@ void thread_pool::worker_loop() {
     for (;;) {
         job* j = nullptr;
         {
+            const bool meter_idle = altis::metrics::collecting();
+            const std::uint64_t idle_from = meter_idle ? now_ns() : 0;
             std::unique_lock lock(mutex_);
             wake_.wait(lock, [&] {
                 return stop_ || (j = pick_job()) != nullptr;
             });
+            if (meter_idle)
+                altis::metrics::instruments::pool_worker_idle_ns().add(
+                    now_ns() - idle_from);
             if (stop_) return;
             // Joining under the lock pairs with retirement in parallel_for:
             // once the submitter removes its job from jobs_, no new worker
             // can raise active_workers, so draining to zero is final.
             j->active_workers.fetch_add(1, std::memory_order_relaxed);
         }
+        // Capture the gauge decision once so the add/sub always pairs even
+        // if a metrics session starts or stops while the job runs.
+        const bool meter_active = altis::metrics::collecting();
+        if (meter_active)
+            altis::metrics::instruments::pool_active_workers().add(1);
         run_job(*j);
+        if (meter_active)
+            altis::metrics::instruments::pool_active_workers().sub(1);
         {
             std::lock_guard lock(mutex_);
             if (j->active_workers.fetch_sub(1, std::memory_order_relaxed) == 1)
@@ -67,8 +107,19 @@ void thread_pool::worker_loop() {
 void thread_pool::parallel_for(std::size_t n,
                                detail::function_ref<void(std::size_t)> fn) {
     if (n == 0) return;
+    if (altis::metrics::collecting())
+        altis::metrics::instruments::pool_jobs().add();
     if (workers_.empty() || n == 1) {
+        // Serial fallback still meters busy time: on single-core hosts the
+        // global pool has no workers and this is the only execution path.
+        const bool metered = altis::metrics::collecting();
+        const std::uint64_t t0 = metered ? now_ns() : 0;
         for (std::size_t i = 0; i < n; ++i) fn(i);
+        if (metered) {
+            namespace mi = altis::metrics::instruments;
+            mi::pool_worker_busy_ns().add(now_ns() - t0);
+            mi::pool_chunks().add();
+        }
         return;
     }
     job j(fn, n, std::max<std::size_t>(1, n / ((workers_.size() + 1) * 8)));

@@ -6,11 +6,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <stdexcept>
 
 #include "analyze/recorder.hpp"
 #include "fault/inject.hpp"
+#include "metrics/alloc_ledger.hpp"
+#include "metrics/instruments.hpp"
 #include "sycl/queue.hpp"
 
 namespace syclite {
@@ -39,6 +42,16 @@ template <typename T>
     // usm_free and the ranges kernels declare via handler::uses_usm.
     if (auto* rec = altis::analyze::recorder::current())
         rec->record_usm_alloc(p, count * sizeof(T));
+    if (altis::metrics::collecting()) {
+        namespace mi = altis::metrics::instruments;
+        const std::uint64_t bytes = count * sizeof(T);
+        altis::metrics::alloc_ledger::instance().on_alloc(p, bytes);
+        mi::usm_allocs().add();
+        mi::usm_live_bytes().add(static_cast<std::int64_t>(bytes));
+        const std::int64_t live = mi::usm_live_bytes().value();
+        if (live > 0)
+            mi::usm_peak_bytes().record(static_cast<std::uint64_t>(live));
+    }
     return p;
 }
 
@@ -56,9 +69,21 @@ template <typename T>
 }
 
 inline void usm_free(void* ptr, const queue& /*q*/) {
-    if (ptr != nullptr)
+    if (ptr != nullptr) {
         if (auto* rec = altis::analyze::recorder::current())
             rec->record_usm_free(ptr);
+        if (altis::metrics::collecting()) {
+            namespace mi = altis::metrics::instruments;
+            mi::usm_frees().add();
+            // The ledger only knows allocations metered by the *current*
+            // session, so a buffer allocated before the session started
+            // frees as 0 bytes instead of driving the gauge negative.
+            const std::uint64_t bytes =
+                altis::metrics::alloc_ledger::instance().on_free(ptr);
+            if (bytes > 0)
+                mi::usm_live_bytes().sub(static_cast<std::int64_t>(bytes));
+        }
+    }
     ::operator delete(ptr, std::align_val_t{64});
 }
 

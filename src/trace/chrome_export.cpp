@@ -3,6 +3,9 @@
 #include <ostream>
 #include <set>
 
+#include "metrics/export.hpp"
+#include "metrics/session.hpp"
+
 namespace altis::trace {
 namespace {
 
@@ -72,7 +75,8 @@ void write_event(std::ostream& out, const span& s) {
 
 }  // namespace
 
-void write_chrome_json(const session& s, std::ostream& out) {
+void write_chrome_json(const session& s, std::ostream& out,
+                       const altis::metrics::session* metrics) {
     out << "{\n  \"displayTimeUnit\": \"ns\",\n";
     out << "  \"otherData\": {\"session\": ";
     write_escaped(out, s.name());
@@ -105,6 +109,9 @@ void write_chrome_json(const session& s, std::ostream& out) {
         first = false;
         write_event(out, sp);
     }
+    if (metrics != nullptr)
+        altis::metrics::write_chrome_counter_events(metrics->series(), out,
+                                                    first);
     out << "\n  ]\n}\n";
 }
 

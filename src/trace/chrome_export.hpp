@@ -10,8 +10,17 @@
 
 #include "trace/session.hpp"
 
+namespace altis::metrics {
+class session;
+}
+
 namespace altis::trace {
 
-void write_chrome_json(const session& s, std::ostream& out);
+/// When `metrics` is non-null (a stopped metrics::session), its sampled
+/// gauge/watermark series are spliced into the same traceEvents array as
+/// "ph":"C" counter tracks under pid 2, so the simulated timeline and the
+/// wall-clock telemetry render in one Perfetto view.
+void write_chrome_json(const session& s, std::ostream& out,
+                       const altis::metrics::session* metrics = nullptr);
 
 }  // namespace altis::trace

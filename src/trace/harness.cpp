@@ -9,6 +9,7 @@ cli_harness::cli_harness(std::string name) : session_(std::move(name)) {
     add_trace_options(opts_);
     fault::add_fault_options(opts_);
     analyze::add_sanitize_options(opts_);
+    metrics::add_metrics_options(opts_);
 }
 
 int cli_harness::parse(int argc, char** argv) {
@@ -34,6 +35,8 @@ int cli_harness::parse(int argc, char** argv) {
         }
         fault_scope_.emplace(*plan_);
     }
+    mopts_ = metrics::options::from(opts_);
+    if (mopts_.enabled()) msession_.emplace(session_.name());
     // Only install the session when asked to: an inactive bench collects no
     // spans and behaves exactly as before the trace layer existed.
     if (topts_.enabled()) scope_.emplace(session_);
@@ -62,13 +65,27 @@ int cli_harness::finish() {
         sanitize_rc =
             analyze::finish(*recorder_, aopts_, std::cout, std::cerr, sink);
     }
-    if (!topts_.enabled()) return sanitize_rc;
-    scope_.reset();
-    const int trace_rc = finish_session(session_, topts_, session_.last_end_ns(),
-                                        std::cout, std::cerr)
-                             ? 0
-                             : 2;
-    return sanitize_rc != 0 ? sanitize_rc : trace_rc;
+    // Stop metrics before the trace export so the finished sampled series
+    // can merge into the Perfetto file as counter tracks.
+    if (msession_) msession_->stop();
+    int trace_rc = 0;
+    if (topts_.enabled()) {
+        scope_.reset();
+        trace_rc = finish_session(session_, topts_, session_.last_end_ns(),
+                                  std::cout, std::cerr,
+                                  msession_ ? &*msession_ : nullptr)
+                       ? 0
+                       : 2;
+    }
+    int metrics_rc = 0;
+    if (msession_)
+        metrics_rc = metrics::finish_metrics(*msession_, mopts_, std::cout,
+                                             std::cerr)
+                         ? 0
+                         : 2;
+    if (sanitize_rc != 0) return sanitize_rc;
+    if (trace_rc != 0) return trace_rc;
+    return metrics_rc;
 }
 
 }  // namespace altis::trace

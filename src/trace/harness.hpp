@@ -16,6 +16,8 @@
 #include "core/option_parser.hpp"
 #include "fault/inject.hpp"
 #include "fault/options.hpp"
+#include "metrics/options.hpp"
+#include "metrics/session.hpp"
 #include "trace/options.hpp"
 #include "trace/session.hpp"
 
@@ -58,15 +60,29 @@ public:
         return aopts_;
     }
 
+    /// Wall-clock metrics options parsed from --metrics/--metrics-prom/
+    /// --metrics-json ($ALTIS_METRICS forces collection on). When enabled,
+    /// parse() starts a metrics::session; finish() stops it before the trace
+    /// export so the sampled series merge into the Perfetto file as counter
+    /// tracks, then writes the requested exports.
+    [[nodiscard]] const metrics::options& metrics_options() const {
+        return mopts_;
+    }
+    [[nodiscard]] metrics::session* metrics_session() {
+        return msession_ ? &*msession_ : nullptr;
+    }
+
 private:
     OptionParser opts_;
     trace::options topts_;
     fault::options fopts_;
     analyze::options aopts_;
+    metrics::options mopts_;
     std::optional<fault::plan> plan_;
     std::optional<fault::scope> fault_scope_;
     std::optional<analyze::recorder> recorder_;
     std::optional<analyze::recorder::scope> sanitize_scope_;
+    std::optional<metrics::session> msession_;
     session session_;
     std::optional<session::scope> scope_;
 };

@@ -25,7 +25,8 @@ options options::from(const OptionParser& opts) {
 }
 
 bool finish_session(session& s, const options& opt, double end_ns,
-                    std::ostream& out, std::ostream& err) {
+                    std::ostream& out, std::ostream& err,
+                    const altis::metrics::session* metrics) {
     while (s.open_regions() > 0) s.end_region(end_ns);
 
     bool ok = true;
@@ -35,9 +36,15 @@ bool finish_session(session& s, const options& opt, double end_ns,
             err << "trace: cannot open " << opt.trace_path << " for writing\n";
             ok = false;
         } else {
-            write_chrome_json(s, f);
-            out << "trace: wrote " << s.spans().size() << " spans to "
-                << opt.trace_path << "\n";
+            write_chrome_json(s, f, metrics);
+            f.flush();
+            if (!f) {
+                err << "trace: failed writing " << opt.trace_path << "\n";
+                ok = false;
+            } else {
+                out << "trace: wrote " << s.spans().size() << " spans to "
+                    << opt.trace_path << "\n";
+            }
         }
     }
     if (opt.profile) {
@@ -52,7 +59,13 @@ bool finish_session(session& s, const options& opt, double end_ns,
                 ok = false;
             } else {
                 write_profile_json(p, f);
-                out << "trace: wrote profile to " << path << "\n";
+                f.flush();
+                if (!f) {
+                    err << "trace: failed writing " << path << "\n";
+                    ok = false;
+                } else {
+                    out << "trace: wrote profile to " << path << "\n";
+                }
             }
         }
     }

@@ -15,6 +15,10 @@
 #include "core/option_parser.hpp"
 #include "trace/session.hpp"
 
+namespace altis::metrics {
+class session;
+}
+
 namespace altis::trace {
 
 void add_trace_options(OptionParser& opts);
@@ -28,9 +32,11 @@ struct options {
 };
 
 /// Close any still-open regions at `end_ns`, write the trace file and/or the
-/// profile per `opt`. Returns false (after a message on `err`) when a file
-/// could not be written.
+/// profile per `opt`. When `metrics` names a stopped metrics session, its
+/// sampled series are merged into the trace file as Perfetto counter tracks.
+/// Returns false (after a message on `err`) when a file could not be written.
 bool finish_session(session& s, const options& opt, double end_ns,
-                    std::ostream& out, std::ostream& err);
+                    std::ostream& out, std::ostream& err,
+                    const altis::metrics::session* metrics = nullptr);
 
 }  // namespace altis::trace

@@ -1,0 +1,157 @@
+// Lock-free telemetry primitives: exactness of the sharded counters,
+// gauges, watermarks and log-bucketed histograms, single-threaded and under
+// a concurrent hammer (the latter is the TSan target: every update is a
+// relaxed atomic on a padded shard cell, so the test must be race-free by
+// construction, not by luck).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace altis::metrics {
+namespace {
+
+TEST(Counter, AddAndValue) {
+    counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SignedLevel) {
+    gauge g;
+    g.add(100);
+    g.sub(30);
+    EXPECT_EQ(g.value(), 70);
+    g.sub(100);
+    EXPECT_EQ(g.value(), -30);  // transiently-negative levels stay visible
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Watermark, OnlyRises) {
+    watermark w;
+    w.record(10);
+    w.record(7);
+    EXPECT_EQ(w.value(), 10u);
+    w.record(11);
+    EXPECT_EQ(w.value(), 11u);
+    w.reset();
+    EXPECT_EQ(w.value(), 0u);
+}
+
+TEST(Histogram, BucketMapping) {
+    // Bucket i holds values of bit width i: 0 -> 0, 1 -> 1, [2,3] -> 2, ...
+    EXPECT_EQ(histogram::bucket_of(0), 0);
+    EXPECT_EQ(histogram::bucket_of(1), 1);
+    EXPECT_EQ(histogram::bucket_of(2), 2);
+    EXPECT_EQ(histogram::bucket_of(3), 2);
+    EXPECT_EQ(histogram::bucket_of(4), 3);
+    EXPECT_EQ(histogram::bucket_of(~std::uint64_t{0}), 64);
+
+    // bucket_bound(i) is the inclusive upper edge 2^i - 1.
+    EXPECT_EQ(histogram::bucket_bound(0), 0u);
+    EXPECT_EQ(histogram::bucket_bound(1), 1u);
+    EXPECT_EQ(histogram::bucket_bound(2), 3u);
+    EXPECT_EQ(histogram::bucket_bound(10), 1023u);
+    EXPECT_EQ(histogram::bucket_bound(64), ~std::uint64_t{0});
+
+    // Every value falls inside its bucket's range.
+    for (std::uint64_t v : {0u, 1u, 2u, 3u, 255u, 256u, 1000000u}) {
+        const int b = histogram::bucket_of(v);
+        EXPECT_LE(v, histogram::bucket_bound(b));
+        if (b > 0) {
+            EXPECT_GT(v, histogram::bucket_bound(b - 1));
+        }
+    }
+}
+
+TEST(Histogram, AggregateIsExact) {
+    histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(1024);
+    const histogram::snapshot s = h.aggregate();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_EQ(s.sum, 0u + 1 + 2 + 3 + 1024);
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[2], 2u);
+    EXPECT_EQ(s.buckets[11], 1u);  // 1024 has bit width 11
+}
+
+// The hammer: N writers pound one counter, one gauge and one histogram.
+// After joining, every identity must hold exactly -- sharding may only
+// distribute the updates, never lose or double-count them.
+TEST(Primitives, ConcurrentHammerTotalsAreExact) {
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kIters = 20000;
+
+    counter c;
+    gauge g;
+    histogram h;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kIters; ++i) {
+                c.add();
+                c.add(2);
+                g.add(static_cast<std::int64_t>(i));
+                g.sub(static_cast<std::int64_t>(i));
+                h.record(i);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(c.value(), kThreads * kIters * 3);
+    EXPECT_EQ(g.value(), 0);
+
+    const histogram::snapshot s = h.aggregate();
+    EXPECT_EQ(s.count, kThreads * kIters);
+    // sum = kThreads * (0 + 1 + ... + kIters-1)
+    EXPECT_EQ(s.sum, kThreads * (kIters * (kIters - 1) / 2));
+    // Bucket counts must add back up to the total, and each bucket must hold
+    // exactly kThreads times its single-thread population.
+    std::uint64_t from_buckets = 0;
+    for (int b = 0; b < histogram::kBuckets; ++b)
+        from_buckets += s.buckets[static_cast<std::size_t>(b)];
+    EXPECT_EQ(from_buckets, s.count);
+    EXPECT_EQ(s.buckets[0], static_cast<std::uint64_t>(kThreads));  // value 0
+    EXPECT_EQ(s.buckets[1], static_cast<std::uint64_t>(kThreads));  // value 1
+    EXPECT_EQ(s.buckets[2], 2u * kThreads);                         // 2..3
+}
+
+TEST(Primitives, ConcurrentWatermarkConvergesToMax) {
+    constexpr int kThreads = 8;
+    watermark w;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < 10000; ++i)
+                w.record(i * static_cast<std::uint64_t>(t + 1));
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(w.value(), 9999u * kThreads);
+}
+
+TEST(Collecting, DefaultsOff) {
+    // No session in this binary's tests at this point: the process-wide
+    // switch must read false so instrumentation sites skip their work.
+    EXPECT_FALSE(collecting());
+}
+
+}  // namespace
+}  // namespace altis::metrics

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <numeric>
@@ -185,6 +187,55 @@ TEST(Pipe, WatchdogFiresOnAbandonedPeer) {
     EXPECT_THROW((void)p.read(), pipe_deadlock);  // empty, no producer
     const int burst[4] = {1, 2, 3, 4};
     EXPECT_THROW(p.write_burst(burst, 4), pipe_deadlock);
+}
+
+/// Regression for the occupancy() snapshot: head and tail are published
+/// independently and bursts advance them by whole spans, so a naive
+/// tail-minus-head read racing a concurrent burst could report a level far
+/// beyond capacity (or underflow). A poller hammering occupancy() during
+/// heavy burst traffic must only ever observe values in [0, capacity].
+TEST(Pipe, OccupancySnapshotStaysWithinCapacityUnderBursts) {
+    constexpr std::size_t kCapacity = 8;
+    constexpr std::size_t kItems = 50000;
+    pipe<int> p(kCapacity, "occ_poll");
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> violated{false};
+    std::thread poller([&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            const std::size_t occ = p.occupancy();
+            if (occ > kCapacity) violated.store(true);
+        }
+    });
+
+    std::thread producer([&] {
+        int batch[32];
+        std::size_t sent = 0;
+        while (sent < kItems) {
+            const std::size_t take = std::min<std::size_t>(32, kItems - sent);
+            for (std::size_t i = 0; i < take; ++i)
+                batch[i] = static_cast<int>(sent + i);
+            p.write_burst(batch, take);
+            sent += take;
+        }
+    });
+
+    int batch[32];
+    long long sum = 0;
+    std::size_t got = 0;
+    while (got < kItems) {
+        const std::size_t take = std::min<std::size_t>(32, kItems - got);
+        p.read_burst(batch, take);
+        for (std::size_t i = 0; i < take; ++i) sum += batch[i];
+        got += take;
+    }
+    producer.join();
+    done.store(true);
+    poller.join();
+
+    EXPECT_FALSE(violated.load());
+    EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+    EXPECT_EQ(p.occupancy(), 0u);
 }
 
 TEST(Pipe, WatchdogReportsOccupancyAfterRewrite) {

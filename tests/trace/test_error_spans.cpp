@@ -1,0 +1,78 @@
+// Regression: the failed span recorded for a kernel that throws must carry
+// the kernel's *name*, captured before the handler is torn down. The label
+// used to be built from state that record() may donate away, so the span
+// could silently lose its kernel attribution.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/inject.hpp"
+#include "sycl/syclite.hpp"
+#include "trace/session.hpp"
+
+namespace altis::trace {
+namespace {
+
+namespace fault = altis::fault;
+
+perf::kernel_stats named_stats(const char* name) {
+    perf::kernel_stats k;
+    k.name = name;
+    k.fp32_ops = 1.0;
+    return k;
+}
+
+const span* find_failed_span(const session& s) {
+    for (const span& sp : s.spans())
+        if (sp.status == span_status::failed) return &sp;
+    return nullptr;
+}
+
+TEST(ErrorSpans, FailedLaunchSpanNamesTheKernel) {
+    fault::plan p = fault::plan::parse("launch:k1@1");
+    fault::scope fs(p);
+
+    session s("t");
+    session::scope scope(s);
+    int delivered = 0;
+    syclite::queue q("rtx_2080", perf::runtime_kind::sycl,
+                     [&](syclite::exception_list errors) {
+                         delivered += static_cast<int>(errors.size());
+                     });
+    syclite::buffer<int> b(64);
+
+    // First submission of k1 is injected to fail; k2 afterwards must trace
+    // normally, proving the error span did not disturb the timeline.
+    q.submit([&](syclite::handler& h) {
+        auto acc = h.get_access(b, syclite::access_mode::discard_write);
+        h.parallel_for(
+            syclite::nd_range<1>(syclite::range<1>(64), syclite::range<1>(64)),
+            named_stats("k1"),
+            [=](syclite::nd_item<1> it) { acc[it.get_global_id(0)] = 1; });
+    });
+    q.submit([&](syclite::handler& h) {
+        auto acc = h.get_access(b, syclite::access_mode::read_write);
+        h.parallel_for(
+            syclite::nd_range<1>(syclite::range<1>(64), syclite::range<1>(64)),
+            named_stats("k2"),
+            [=](syclite::nd_item<1> it) { acc[it.get_global_id(0)] += 1; });
+    });
+    q.wait();
+    EXPECT_EQ(delivered, 1);
+
+    const span* failed = find_failed_span(s);
+    ASSERT_NE(failed, nullptr);
+    // The label format is "error[<kernel>]: <what>".
+    EXPECT_NE(failed->name.find("error[k1]"), std::string::npos)
+        << "failed span label was: " << failed->name;
+    EXPECT_NE(failed->name.find("kernel launch failed"), std::string::npos);
+
+    // The surviving kernel still shows up as an ordinary kernel span.
+    bool saw_k2 = false;
+    for (const span& sp : s.spans())
+        if (sp.kind == span_kind::kernel && sp.name == "k2") saw_k2 = true;
+    EXPECT_TRUE(saw_k2);
+}
+
+}  // namespace
+}  // namespace altis::trace
