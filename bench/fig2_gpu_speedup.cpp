@@ -51,6 +51,7 @@ double speedup(const bench::SuiteEntry& e, Variant sycl_variant, int size) {
 void panel(const char* title, Variant v,
            const std::array<double, 3> bench::SuiteEntry::* paper,
            const fault::retry_policy& policy, bool fail_fast, bool injecting,
+           altis::resilience::supervisor* sup,
            altis::ResultDatabase& outcomes) {
     std::cout << "== " << title << " ==\n";
     Table t({"Application", "Size 1", "Size 2", "Size 3", "Paper S1",
@@ -60,18 +61,38 @@ void panel(const char* title, Variant v,
         if (!e.in_fig2) continue;
         std::vector<std::string> row{e.label};
         for (int size : {1, 2, 3}) {
-            double s = 0.0;
-            const fault::outcome oc = fault::run_guarded(
-                [&] { s = speedup(e, v, size); }, policy, fail_fast);
-            if (injecting || !oc.succeeded() || oc.retried())
-                fault::record_outcome(
-                    outcomes, bench::config_label(e, v, "rtx_2080", size), oc);
+            const std::string label = bench::config_label(e, v, "rtx_2080", size);
+            bench::ConfigOutcome co;
+            auto cell = [&] {
+                co.oc = fault::run_guarded(
+                    [&] { co.ms = speedup(e, v, size); }, policy, fail_fast);
+                if (!co.oc.succeeded()) co.ms.reset();
+            };
+            if (sup != nullptr) {
+                const auto res =
+                    sup->run(label, e.label + "/" + to_string(v) + "/rtx_2080",
+                             [&] {
+                                 cell();
+                                 return bench::outcome_to_entry(label, co);
+                             });
+                if (res.replayed || res.entry.status == "quarantined")
+                    co = bench::entry_to_outcome(res.entry);
+                if (!res.replayed) bench::emit_degraded_span(label, co.oc);
+            } else {
+                cell();
+            }
+            const fault::outcome& oc = co.oc;
+            if (injecting || sup != nullptr || !oc.succeeded() || oc.retried())
+                fault::record_outcome(outcomes, label, oc);
             if (!oc.succeeded()) {
-                row.push_back("FAILED");
+                row.push_back(oc.st == fault::outcome::status::failed
+                                  ? "FAILED"
+                                  : oc.label());
                 continue;
             }
-            db.add_result("speedup_size" + std::to_string(size), e.label, "x", s);
-            row.push_back(Table::num(s, 2));
+            db.add_result("speedup_size" + std::to_string(size), e.label, "x",
+                          *co.ms);
+            row.push_back(Table::num(*co.ms, 2));
         }
         for (int i = 0; i < 3; ++i)
             row.push_back(
@@ -94,6 +115,7 @@ int main(int argc, char** argv) {
     const auto& policy = trace_harness.retry_policy();
     const bool fail_fast = trace_harness.fail_fast();
     const bool injecting = trace_harness.fault_options().enabled();
+    altis::resilience::supervisor* sup = trace_harness.supervisor();
 
     std::cout << "Figure 2: Speedup of Altis-SYCL over Altis (CUDA) on the "
                  "RTX 2080\n\n";
@@ -101,16 +123,18 @@ int main(int argc, char** argv) {
     try {
         panel("Baseline (DPCT migration, functionally correct)",
               Variant::sycl_base, &bench::SuiteEntry::paper_fig2_baseline,
-              policy, fail_fast, injecting, outcomes);
+              policy, fail_fast, injecting, sup, outcomes);
         std::cout << "paper geomean reference: optimized 1.0 / 1.1 / 1.3\n\n";
         panel("Optimized (Sec. 3.3)", Variant::sycl_opt,
               &bench::SuiteEntry::paper_fig2_optimized, policy, fail_fast,
-              injecting, outcomes);
+              injecting, sup, outcomes);
     } catch (const std::exception& e) {
         std::cerr << "aborting (--fail-fast): " << e.what() << "\n";
         return 1;
     }
     altis::print_outcomes(outcomes, std::cout);
     if (const int rc = trace_harness.finish(); rc != 0) return rc;
+    if (altis::resilience::interrupted())
+        return 128 + altis::resilience::interrupt_signal();
     return outcomes.all_outcomes_ok() ? 0 : 1;
 }

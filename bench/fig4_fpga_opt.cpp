@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     const auto& policy = trace_harness.retry_policy();
     const bool fail_fast = trace_harness.fail_fast();
     const bool injecting = trace_harness.fault_options().enabled();
+    altis::resilience::supervisor* sup = trace_harness.supervisor();
 
     std::cout << "Figure 4: Speedup of FPGA Optimized over FPGA Baseline on "
                  "Stratix 10\n\n";
@@ -37,19 +38,30 @@ int main(int argc, char** argv) {
             for (int size : {1, 2, 3}) {
                 const auto base = bench::run_config(e, Variant::fpga_base,
                                                     "stratix_10", size, policy,
-                                                    fail_fast);
+                                                    fail_fast, sup);
                 const auto opt = bench::run_config(e, Variant::fpga_opt,
                                                    "stratix_10", size, policy,
-                                                   fail_fast);
+                                                   fail_fast, sup);
                 bench::record_config_outcome(
                     db, bench::config_label(e, Variant::fpga_base, "stratix_10", size),
-                    base, injecting);
+                    base, injecting || sup != nullptr);
                 bench::record_config_outcome(
                     db, bench::config_label(e, Variant::fpga_opt, "stratix_10", size),
-                    opt, injecting);
+                    opt, injecting || sup != nullptr);
                 if (base.oc.st == altis::fault::outcome::status::failed ||
                     opt.oc.st == altis::fault::outcome::status::failed) {
                     row.push_back("FAILED");
+                    continue;
+                }
+                // Other degraded terminal states (deadline, cancelled,
+                // quarantined) only occur under the supervisor; name them
+                // instead of conflating them with nonexistent "n/a" cells.
+                if (!base.oc.succeeded() && !base.skipped) {
+                    row.push_back(base.oc.label());
+                    continue;
+                }
+                if (!opt.oc.succeeded() && !opt.skipped) {
+                    row.push_back(opt.oc.label());
                     continue;
                 }
                 if (!base.ms || !opt.ms) {
@@ -77,5 +89,7 @@ int main(int argc, char** argv) {
               << "   (paper: 10.7 / 20.7 / 35.6)\n";
     altis::print_outcomes(db, std::cout);
     if (const int rc = trace_harness.finish(); rc != 0) return rc;
+    if (altis::resilience::interrupted())
+        return 128 + altis::resilience::interrupt_signal();
     return db.all_outcomes_ok() ? 0 : 1;
 }

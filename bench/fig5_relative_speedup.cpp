@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
     const auto& policy = trace_harness.retry_policy();
     const bool fail_fast = trace_harness.fail_fast();
     const bool injecting = trace_harness.fault_options().enabled();
+    altis::resilience::supervisor* sup = trace_harness.supervisor();
+    const bool log_all = injecting || sup != nullptr;
 
     std::cout << "Figure 5: Relative speedup over the Xeon CPU\n";
 
@@ -40,28 +42,39 @@ int main(int argc, char** argv) {
                 if (!e.in_fig45) continue;
                 const auto cpu = bench::run_config(e, Variant::sycl_opt,
                                                    "xeon_6128", size, policy,
-                                                   fail_fast);
+                                                   fail_fast, sup);
                 bench::record_config_outcome(
                     geo,
                     bench::config_label(e, Variant::sycl_opt, "xeon_6128", size),
-                    cpu, injecting);
+                    cpu, log_all);
                 std::vector<std::string> row{e.label};
                 for (const auto& dev_name : bench::fig5_devices()) {
                     const Variant v = perf::device_by_name(dev_name).is_fpga()
                                           ? Variant::fpga_opt
                                           : Variant::sycl_opt;
                     const auto co = bench::run_config(e, v, dev_name, size,
-                                                      policy, fail_fast);
+                                                      policy, fail_fast, sup);
                     bench::record_config_outcome(
                         geo, bench::config_label(e, v, dev_name, size), co,
-                        injecting);
+                        log_all);
                     const std::string series = "speedup_" + dev_name +
                                                "_size" + std::to_string(size);
                     const bool failed =
                         co.oc.st == fault::outcome::status::failed ||
                         cpu.oc.st == fault::outcome::status::failed;
+                    const bool degraded =
+                        (!co.oc.succeeded() && !co.skipped) ||
+                        (!cpu.oc.succeeded() && !cpu.skipped);
                     if (failed) {
                         row.push_back("FAILED");
+                        geo.add_failure(series, e.label, "x");
+                    } else if (degraded) {
+                        // Supervisor-only terminal states: name the status
+                        // (deadline/cancelled/quarantined) instead of
+                        // conflating it with the paper's known crashes.
+                        row.push_back((!co.oc.succeeded() && !co.skipped)
+                                          ? co.oc.label()
+                                          : cpu.oc.label());
                         geo.add_failure(series, e.label, "x");
                     } else if (!co.ms || !cpu.ms) {
                         row.push_back("crash");
@@ -114,5 +127,7 @@ int main(int argc, char** argv) {
     g.print(std::cout);
     altis::print_outcomes(geo, std::cout);
     if (const int rc = trace_harness.finish(); rc != 0) return rc;
+    if (altis::resilience::interrupted())
+        return 128 + altis::resilience::interrupt_signal();
     return geo.all_outcomes_ok() ? 0 : 1;
 }

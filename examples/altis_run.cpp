@@ -8,9 +8,12 @@
 //   ./examples/altis_run kmeans --trace out.json --profile
 //   ./examples/altis_run all --inject 'alloc@2;seed=7'   # fault drill
 //   ./examples/altis_run all --sanitize error             # hazard/perf lint
+//   ./examples/altis_run all --journal run.jsonl          # crash-safe sweep
+//   ./examples/altis_run all --resume run.jsonl           # continue after kill
 #include <algorithm>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "analyze/options.hpp"
 #include "analyze/recorder.hpp"
@@ -22,7 +25,30 @@
 #include "fault/options.hpp"
 #include "metrics/options.hpp"
 #include "metrics/session.hpp"
+#include "resilience/cancel.hpp"
+#include "resilience/options.hpp"
+#include "resilience/supervisor.hpp"
 #include "trace/options.hpp"
+
+namespace {
+
+/// Snapshot of a per-attempt database for the checkpoint journal; values
+/// round-trip exactly (to_chars), so a replayed merge is byte-identical.
+std::vector<altis::resilience::journal_series> capture_series(
+    const altis::ResultDatabase& db) {
+    std::vector<altis::resilience::journal_series> out;
+    for (const auto& r : db.results())
+        out.push_back({r.test, r.atts, r.unit, r.values});
+    return out;
+}
+
+void restore_series(const std::vector<altis::resilience::journal_series>& in,
+                    altis::ResultDatabase& db) {
+    for (const auto& s : in)
+        for (double v : s.values) db.add_result(s.test, s.atts, s.unit, v);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace altis;
@@ -38,17 +64,27 @@ int main(int argc, char** argv) {
     fault::add_fault_options(opts);
     analyze::add_sanitize_options(opts);
     metrics::add_metrics_options(opts);
+    resilience::add_resilience_options(opts);
 
+    // Every value-carrying option is range-checked here: a malformed or
+    // out-of-range value is one clear line on stderr and exit code 2.
     analyze::options aopts;
+    fault::options fopts;
+    trace::options topts;
+    metrics::options mopts;
+    resilience::options ropts;
     try {
         if (!opts.parse(argc, argv, std::cout)) return 0;
         aopts = analyze::options::from(opts);
+        fopts = fault::options::from(opts);
+        topts = trace::options::from(opts);
+        mopts = metrics::options::from(opts);
+        ropts = resilience::options::from(opts);
     } catch (const OptionError& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
 
-    const fault::options fopts = fault::options::from(opts);
     fault::plan fplan;
     try {
         fplan = fopts.make_plan();
@@ -58,6 +94,21 @@ int main(int argc, char** argv) {
     }
     std::optional<fault::scope> fscope;
     if (fopts.enabled()) fscope.emplace(fplan);
+
+    // SIGINT/SIGTERM turn into cooperative cancellation: the running config
+    // unwinds at its next checkpoint, the loop below breaks, and the partial
+    // report plus the (already fsync'd) journal survive the exit.
+    resilience::install_signal_cancellation();
+    std::optional<resilience::supervisor> supervisor;
+    if (ropts.enabled()) {
+        try {
+            supervisor.emplace(ropts, "altis_run");
+        } catch (const std::runtime_error& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
+    }
+    resilience::supervisor* sup = supervisor ? &*supervisor : nullptr;
 
     apps::register_all_apps();
     auto& registry = Registry::instance();
@@ -103,13 +154,11 @@ int main(int argc, char** argv) {
 
     // With --trace/--profile active, every queue the apps construct emits
     // spans into this session; each app run becomes a top-level region span.
-    const trace::options topts = trace::options::from(opts);
     trace::session tsession("altis_run");
     trace::session::scope tscope(tsession);
 
     // With --metrics active, the execution engine's wall-clock telemetry
     // (queue/pool/pipe/allocator instruments) collects for the whole run.
-    const metrics::options mopts = metrics::options::from(opts);
     std::optional<metrics::session> msession;
     if (mopts.enabled()) msession.emplace("altis_run");
 
@@ -127,6 +176,7 @@ int main(int argc, char** argv) {
     // keeps the historical report byte-for-byte.
     ResultDatabase db;
     int failures = 0;
+    bool interrupted = false;
     for (const auto& name : targets) {
         const AppInfo* app = registry.find(name);
         if (app == nullptr) {
@@ -143,6 +193,8 @@ int main(int argc, char** argv) {
             apps::variant_allowed(cfg.variant,
                                   perf::device_by_name(cfg.device));
         if (!supported) {
+            // Deterministic skip: recomputed identically on resume, so it
+            // bypasses journal and breaker entirely.
             std::cout << name << ": skipped (variant/device unsupported)\n";
             if (fopts.enabled()) {
                 fault::outcome oc;
@@ -152,47 +204,118 @@ int main(int argc, char** argv) {
             }
             continue;
         }
-        tsession.begin_region(label, tsession.last_end_ns());
         // Each attempt runs into its own database so a failed partial pass
         // never leaks half a trial's metrics into the report; only the
-        // successful attempt is merged.
+        // successful attempt is merged. Everything the config prints is also
+        // captured into the journal entry so a resumed run replays the exact
+        // same stdout.
         ResultDatabase attempt_db;
         fault::outcome oc;
-        try {
-            oc = fault::run_guarded(
-                [&] {
-                    attempt_db.clear();
-                    app->run(cfg, attempt_db);
-                },
-                fopts.policy, fopts.fail_fast,
-                [&](int attempt, const std::string& error, double backoff_ms) {
-                    std::cout << name << ": attempt " << attempt << " failed ("
-                              << error << "), retrying after " << backoff_ms
-                              << " ms\n";
-                });
-        } catch (const std::exception& e) {
+        std::string log;
+        auto emit = [&](const std::string& text) {
+            std::cout << text;
+            log += text;
+        };
+        auto run_body = [&]() {
+            tsession.begin_region(label, tsession.last_end_ns());
+            try {
+                oc = fault::run_guarded(
+                    [&] {
+                        attempt_db.clear();
+                        app->run(cfg, attempt_db);
+                    },
+                    fopts.policy, fopts.fail_fast,
+                    [&](int attempt, const std::string& error,
+                        double backoff_ms) {
+                        std::ostringstream os;
+                        os << name << ": attempt " << attempt << " failed ("
+                           << error << "), retrying after " << backoff_ms
+                           << " ms\n";
+                        emit(os.str());
+                    });
+            } catch (...) {
+                tsession.end_region(tsession.last_end_ns());
+                throw;
+            }
             tsession.end_region(tsession.last_end_ns());
+            if (oc.succeeded()) {
+                std::ostringstream os;
+                os << name << ": ok (" << cfg.passes << " passes, verified";
+                if (oc.retried())
+                    os << ", " << oc.attempts << " attempts, " << oc.backoff_ms
+                       << " ms backoff";
+                os << ")\n";
+                emit(os.str());
+            } else {
+                std::ostringstream os;
+                os << name << ": "
+                   << (oc.st == fault::outcome::status::failed ? "FAILED"
+                                                               : oc.label())
+                   << " -- " << oc.error << "\n";
+                emit(os.str());
+            }
+        };
+        try {
+            if (sup != nullptr) {
+                const std::string bkey = name + "/" + to_string(cfg.variant) +
+                                         "/" + cfg.device;
+                const auto res = sup->run(label, bkey, [&] {
+                    run_body();
+                    resilience::journal_entry entry;
+                    entry.config = label;
+                    entry.status = oc.label();
+                    entry.attempts = oc.attempts;
+                    entry.backoff_ms = oc.backoff_ms;
+                    entry.error = oc.error;
+                    entry.log = log;
+                    if (oc.succeeded())
+                        entry.results = capture_series(attempt_db);
+                    return entry;
+                });
+                if (res.replayed || res.entry.status == "quarantined") {
+                    oc.st = fault::status_from_label(res.entry.status);
+                    oc.attempts = res.entry.attempts;
+                    oc.backoff_ms = res.entry.backoff_ms;
+                    oc.error = res.entry.error;
+                    attempt_db.clear();
+                    restore_series(res.entry.results, attempt_db);
+                    // Replays print their captured stdout verbatim;
+                    // quarantined entries never ran, so their one line is
+                    // composed the same way live and on replay.
+                    if (res.entry.status == "quarantined")
+                        std::cout << name << ": quarantined -- "
+                                  << res.entry.error << "\n";
+                    else
+                        std::cout << res.entry.log;
+                }
+            } else {
+                run_body();
+            }
+        } catch (const std::exception& e) {
             std::cerr << name << ": FAILED -- " << e.what()
                       << "\naborting (--fail-fast)\n";
             return 1;
         }
-        tsession.end_region(tsession.last_end_ns());
 
-        if (oc.succeeded()) {
+        if (oc.succeeded())
             db.merge(attempt_db);
-            std::cout << name << ": ok (" << cfg.passes << " passes, verified";
-            if (oc.retried())
-                std::cout << ", " << oc.attempts << " attempts, "
-                          << oc.backoff_ms << " ms backoff";
-            std::cout << ")\n";
-        } else {
-            std::cout << name << ": FAILED -- " << oc.error << "\n";
+        else
             ++failures;
-        }
-        if (fopts.enabled() || !oc.succeeded() || oc.retried())
+        if (fopts.enabled() || sup != nullptr || !oc.succeeded() ||
+            oc.retried())
             fault::record_outcome(db, label, oc);
+        if (resilience::interrupted()) {
+            interrupted = true;
+            break;
+        }
     }
 
+    if (interrupted)
+        std::cout << "\ninterrupted -- partial results follow"
+                  << (sup != nullptr && !sup->journal_path().empty()
+                          ? " (journal flushed: " + sup->journal_path() + ")"
+                          : "")
+                  << "\n";
     std::cout << '\n';
     if (opts.get_flag("csv"))
         db.dump_csv(std::cout);
@@ -230,6 +353,7 @@ int main(int argc, char** argv) {
     if (msession &&
         !metrics::finish_metrics(*msession, mopts, std::cout, std::cerr))
         return 2;
+    if (interrupted) return 128 + resilience::interrupt_signal();
     if (failures != 0) return 1;
     return sanitize_rc;
 }

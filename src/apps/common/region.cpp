@@ -6,6 +6,7 @@
 #include "fault/inject.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
+#include "resilience/cancel.hpp"
 #include "sycl/error.hpp"
 
 namespace altis::apps {
@@ -84,6 +85,7 @@ timing_estimate simulate_region(const timed_region& region,
     // span is closed before rethrowing, so a faulted config still leaves a
     // well-formed trace.
     try {
+        resilience::checkpoint();
         fault::maybe_inject(fault::op_kind::device, dev.name);
         fault::maybe_inject(fault::op_kind::alloc, region.name,
                             "region working set");
@@ -96,6 +98,7 @@ timing_estimate simulate_region(const timed_region& region,
         }
 
         for (const auto& slot : region.kernels) {
+            resilience::checkpoint();
             fault::maybe_inject(fault::op_kind::launch, slot.stats.name);
             record_stats(slot.stats);
             const double per = one_kernel_ns(slot.stats);

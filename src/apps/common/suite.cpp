@@ -379,6 +379,94 @@ ConfigOutcome run_config(const SuiteEntry& e, Variant v,
     return co;
 }
 
+std::string breaker_key(const SuiteEntry& e, Variant v,
+                        const std::string& device) {
+    return e.label + "/" + to_string(v) + "/" + device;
+}
+
+resilience::journal_entry outcome_to_entry(const std::string& label,
+                                           const ConfigOutcome& co) {
+    resilience::journal_entry entry;
+    entry.config = label;
+    entry.status = co.oc.label();
+    entry.attempts = co.oc.attempts;
+    entry.backoff_ms = co.oc.backoff_ms;
+    entry.error = co.oc.error;
+    entry.value = co.ms;
+    return entry;
+}
+
+ConfigOutcome entry_to_outcome(const resilience::journal_entry& entry) {
+    ConfigOutcome co;
+    co.ms = entry.value;
+    co.oc.st = fault::status_from_label(entry.status);
+    co.oc.attempts = entry.attempts;
+    co.oc.backoff_ms = entry.backoff_ms;
+    co.oc.error = entry.error;
+    if (entry.status == "skipped") {
+        co.skipped = true;
+        co.skip_reason = entry.error;
+    }
+    return co;
+}
+
+void emit_degraded_span(const std::string& label, const fault::outcome& oc) {
+    trace::session* s = trace::session::current();
+    if (s == nullptr) return;
+    trace::span_status st;
+    switch (oc.st) {
+        case fault::outcome::status::deadline:
+        case fault::outcome::status::cancelled:
+            st = trace::span_status::cancelled;
+            break;
+        case fault::outcome::status::quarantined:
+            st = trace::span_status::quarantined;
+            break;
+        default:
+            return;
+    }
+    const double cursor = s->last_end_ns();
+    trace::span sp{trace::span_kind::overhead,
+                   std::string(oc.label()) + ": " + label +
+                       (oc.error.empty() ? "" : ": " + oc.error),
+                   cursor, cursor};
+    sp.status = st;
+    s->record(std::move(sp));
+}
+
+ConfigOutcome run_config(const SuiteEntry& e, Variant v,
+                         const std::string& device, int size,
+                         const fault::retry_policy& policy, bool fail_fast,
+                         resilience::supervisor* sup) {
+    if (sup == nullptr) return run_config(e, v, device, size, policy, fail_fast);
+    const std::string label = config_label(e, v, device, size);
+    // Probe the deterministic skip checks first (cheap: region construction
+    // only happens in the plain overload's body below); a nonexistent
+    // configuration must not consume breaker or journal state.
+    {
+        const perf::device_spec& dev = perf::device_by_name(device);
+        const bool exists = apps::variant_allowed(v, dev) &&
+                            !(e.crashes && e.crashes(dev, v, size)) && [&] {
+                                try {
+                                    (void)e.region(v, dev, size);
+                                    return true;
+                                } catch (const std::invalid_argument&) {
+                                    return false;
+                                }
+                            }();
+        if (!exists) return run_config(e, v, device, size, policy, fail_fast);
+    }
+    ConfigOutcome co;
+    const auto res = sup->run(label, breaker_key(e, v, device), [&] {
+        co = run_config(e, v, device, size, policy, fail_fast);
+        return outcome_to_entry(label, co);
+    });
+    if (res.replayed || res.entry.status == "quarantined")
+        co = entry_to_outcome(res.entry);
+    if (!res.replayed) emit_degraded_span(label, co.oc);
+    return co;
+}
+
 void record_config_outcome(ResultDatabase& db, const std::string& label,
                            const ConfigOutcome& co, bool injection_enabled) {
     if (!injection_enabled && (co.oc.succeeded() || co.skipped) &&

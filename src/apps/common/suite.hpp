@@ -14,6 +14,8 @@
 #include "core/registry.hpp"
 #include "fault/retry.hpp"
 #include "perf/device.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/supervisor.hpp"
 
 namespace altis::bench {
 
@@ -87,6 +89,37 @@ struct ConfigOutcome {
                                        const std::string& device, int size,
                                        const fault::retry_policy& policy = {},
                                        bool fail_fast = false);
+
+/// Supervised variant: routes the configuration through the resilience
+/// supervisor (journal replay -> breaker admission -> deadline scope ->
+/// fsync'd journaling). Nonexistent configurations are skipped before the
+/// supervisor -- the checks are deterministic, so resume recomputes them
+/// identically and the journal stays free of noise. With `sup == nullptr`
+/// this is exactly the plain overload. Degraded terminal states (deadline,
+/// cancelled, quarantined) emit a matching zero-length span into the
+/// current trace session.
+[[nodiscard]] ConfigOutcome run_config(const SuiteEntry& e, Variant v,
+                                       const std::string& device, int size,
+                                       const fault::retry_policy& policy,
+                                       bool fail_fast,
+                                       resilience::supervisor* sup);
+
+/// Breaker quarantine key of a configuration: the config label without the
+/// size component, so repeated hard failures of one app/variant/device pair
+/// open the circuit for its remaining sizes.
+[[nodiscard]] std::string breaker_key(const SuiteEntry& e, Variant v,
+                                      const std::string& device);
+
+/// Journal conversion for the fig sweeps (altis_run captures log/results on
+/// top of these).
+[[nodiscard]] resilience::journal_entry outcome_to_entry(
+    const std::string& label, const ConfigOutcome& co);
+[[nodiscard]] ConfigOutcome entry_to_outcome(
+    const resilience::journal_entry& entry);
+
+/// Records a zero-length cancelled/quarantined span at the end of the
+/// current trace session (no-op without one, or for healthy statuses).
+void emit_degraded_span(const std::string& label, const fault::outcome& oc);
 
 /// Records the outcome under `label` when it carries information: injection
 /// is active, or the configuration failed or needed retries. Expected skips

@@ -1,5 +1,7 @@
 #include "core/option_parser.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <ostream>
 
@@ -76,18 +78,24 @@ std::string OptionParser::get_string(const std::string& name) const {
 std::int64_t OptionParser::get_int(const std::string& name) const {
     const std::string v = get_string(name);
     char* end = nullptr;
+    errno = 0;
     const long long parsed = std::strtoll(v.c_str(), &end, 10);
     if (end == v.c_str() || *end != '\0')
         throw OptionError("option --" + name + " expects an integer, got: " + v);
+    if (errno == ERANGE)
+        throw OptionError("option --" + name + " value out of range: " + v);
     return parsed;
 }
 
 double OptionParser::get_double(const std::string& name) const {
     const std::string v = get_string(name);
     char* end = nullptr;
+    errno = 0;
     const double parsed = std::strtod(v.c_str(), &end);
     if (end == v.c_str() || *end != '\0')
         throw OptionError("option --" + name + " expects a number, got: " + v);
+    if (errno == ERANGE && !std::isfinite(parsed))
+        throw OptionError("option --" + name + " value out of range: " + v);
     return parsed;
 }
 

@@ -78,14 +78,24 @@ void print_outcomes(const ResultDatabase& db, std::ostream& out) {
     const auto& outcomes = db.outcomes();
     if (outcomes.empty()) return;
     std::size_t ok = 0, retried = 0, failed = 0, skipped = 0;
+    std::size_t deadline = 0, quarantined = 0, cancelled = 0;
     for (const auto& oc : outcomes) {
         if (oc.status == "ok") ++ok;
         else if (oc.status == "retried") ++retried;
         else if (oc.status == "failed") ++failed;
+        else if (oc.status == "deadline") ++deadline;
+        else if (oc.status == "quarantined") ++quarantined;
+        else if (oc.status == "cancelled") ++cancelled;
         else ++skipped;
     }
     out << "outcomes: " << ok << " ok, " << retried << " retried, " << failed
-        << " failed, " << skipped << " skipped\n";
+        << " failed, " << skipped << " skipped";
+    // Only populated resilience buckets are printed, keeping reports from
+    // runs without the supervisor byte-identical to older output.
+    if (deadline != 0) out << ", " << deadline << " deadline";
+    if (quarantined != 0) out << ", " << quarantined << " quarantined";
+    if (cancelled != 0) out << ", " << cancelled << " cancelled";
+    out << '\n';
     for (const auto& oc : outcomes) {
         if (oc.status == "ok") continue;
         out << "  [" << oc.status << "] " << oc.config;

@@ -94,7 +94,9 @@ void ResultDatabase::add_outcome(RunOutcome outcome) {
 
 bool ResultDatabase::all_outcomes_ok() const {
     for (const auto& oc : outcomes_)
-        if (oc.status == "failed") return false;
+        if (oc.status == "failed" || oc.status == "deadline" ||
+            oc.status == "cancelled")
+            return false;
     return true;
 }
 
@@ -142,14 +144,24 @@ void ResultDatabase::dump_summary(std::ostream& out) const {
     }
     if (outcomes_.empty()) return;
     std::size_t ok = 0, retried = 0, failed = 0, skipped = 0;
+    std::size_t deadline = 0, quarantined = 0, cancelled = 0;
     for (const auto& oc : outcomes_) {
         if (oc.status == "ok") ++ok;
         else if (oc.status == "retried") ++retried;
         else if (oc.status == "failed") ++failed;
+        else if (oc.status == "deadline") ++deadline;
+        else if (oc.status == "quarantined") ++quarantined;
+        else if (oc.status == "cancelled") ++cancelled;
         else ++skipped;
     }
     out << "\noutcomes: " << ok << " ok, " << retried << " retried, " << failed
-        << " failed, " << skipped << " skipped\n";
+        << " failed, " << skipped << " skipped";
+    // Resilience buckets appear only when populated, so reports from runs
+    // without --deadline-ms/--resume stay byte-identical to older output.
+    if (deadline != 0) out << ", " << deadline << " deadline";
+    if (quarantined != 0) out << ", " << quarantined << " quarantined";
+    if (cancelled != 0) out << ", " << cancelled << " cancelled";
+    out << '\n';
     for (const auto& oc : outcomes_) {
         if (oc.status == "ok") continue;
         out << "  [" << oc.status << "] " << oc.config;

@@ -36,7 +36,9 @@ struct Result {
 /// validation).
 struct RunOutcome {
     std::string config;  ///< e.g. "KMeans/fpga_opt/stratix_10/size2"
-    std::string status;  ///< "ok" | "retried" | "failed" | "skipped"
+    /// "ok" | "retried" | "failed" | "skipped", plus the supervisor's
+    /// "deadline" | "cancelled" | "quarantined" (see resilience::supervisor).
+    std::string status;
     int attempts = 1;
     std::string error;  ///< last error / skip reason; empty when ok
 };

@@ -1,5 +1,6 @@
 #include "fault/options.hpp"
 
+#include <cmath>
 #include <cstdlib>
 
 namespace altis::fault {
@@ -22,8 +23,20 @@ options options::from(const OptionParser& opts) {
         if (const char* env = std::getenv("ALTIS_FAULT")) o.spec = env;
     }
     o.fail_fast = opts.get_flag("fail-fast");
-    o.policy.max_attempts = static_cast<int>(opts.get_int("retries"));
-    o.policy.backoff_base_ms = opts.get_double("retry-backoff-ms");
+    // Range-check the resilience knobs up front: a negative or overflowing
+    // value is a usage error (exit 2), not something to saturate or wrap
+    // into undefined sweep behavior later.
+    const std::int64_t retries = opts.get_int("retries");
+    if (retries < 1 || retries > 1000000)
+        throw OptionError("--retries must be in [1, 1000000], got: " +
+                          opts.get_string("retries"));
+    const double backoff = opts.get_double("retry-backoff-ms");
+    if (!std::isfinite(backoff) || backoff < 0.0 || backoff > 1e9)
+        throw OptionError(
+            "--retry-backoff-ms must be a finite value in [0, 1e9], got: " +
+            opts.get_string("retry-backoff-ms"));
+    o.policy.max_attempts = static_cast<int>(retries);
+    o.policy.backoff_base_ms = backoff;
     return o;
 }
 

@@ -5,6 +5,7 @@
 #include "core/result_database.hpp"
 #include "fault/inject.hpp"
 #include "metrics/instruments.hpp"
+#include "resilience/cancel.hpp"
 
 namespace altis::fault {
 
@@ -17,8 +18,20 @@ const char* outcome::label() const {
         case status::ok: return attempts > 1 ? "retried" : "ok";
         case status::failed: return "failed";
         case status::skipped: return "skipped";
+        case status::deadline: return "deadline";
+        case status::cancelled: return "cancelled";
+        case status::quarantined: return "quarantined";
     }
     return "?";
+}
+
+outcome::status status_from_label(const std::string& label) {
+    if (label == "ok" || label == "retried") return outcome::status::ok;
+    if (label == "skipped") return outcome::status::skipped;
+    if (label == "deadline") return outcome::status::deadline;
+    if (label == "cancelled") return outcome::status::cancelled;
+    if (label == "quarantined") return outcome::status::quarantined;
+    return outcome::status::failed;
 }
 
 outcome run_guarded(const std::function<void()>& fn, const retry_policy& policy,
@@ -47,6 +60,21 @@ outcome run_guarded(const std::function<void()>& fn, const retry_policy& policy,
                     static_cast<std::uint64_t>(backoff * 1e6));
             }
             if (on_retry) on_retry(attempt, oc.error, backoff);
+        } catch (const resilience::cancelled_error& c) {
+            // Cancellation is not a fault of the configuration: the
+            // deadline supervisor (or a signal) pulled the plug. Never
+            // retried -- the token stays cancelled for the rest of this
+            // configuration's scope, so another attempt would die at its
+            // first checkpoint.
+            if (metrics::collecting() &&
+                c.reason() == resilience::cancel_reason::deadline)
+                metrics::instruments::resilience_deadline_misses().add();
+            if (fail_fast) throw;
+            oc.st = c.reason() == resilience::cancel_reason::deadline
+                        ? outcome::status::deadline
+                        : outcome::status::cancelled;
+            oc.error = c.what();
+            return oc;
         } catch (const std::exception& e) {
             // Anything that is not an injected fault is a real defect of the
             // configuration -- retrying cannot help.

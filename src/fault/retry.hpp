@@ -24,7 +24,21 @@ struct retry_policy {
 };
 
 struct outcome {
-    enum class status { ok, failed, skipped };
+    enum class status {
+        ok,
+        failed,
+        skipped,
+        /// Cancelled because the configuration overran its --deadline-ms
+        /// budget; non-retryable (the token stays cancelled for the rest
+        /// of the configuration's scope, so another attempt cannot help).
+        deadline,
+        /// Cancelled from outside the configuration (SIGINT/SIGTERM or a
+        /// manual cancel); the sweep is being torn down.
+        cancelled,
+        /// Skipped by an open circuit breaker (supervisor-level; see
+        /// resilience::supervisor) instead of re-burning the retry budget.
+        quarantined,
+    };
 
     status st = status::ok;
     int attempts = 1;
@@ -33,10 +47,15 @@ struct outcome {
 
     [[nodiscard]] bool succeeded() const { return st == status::ok; }
     [[nodiscard]] bool retried() const { return succeeded() && attempts > 1; }
-    /// "ok" | "retried" | "failed" | "skipped" -- the status string recorded
-    /// into ResultDatabase outcomes.
+    /// "ok" | "retried" | "failed" | "skipped" | "deadline" | "cancelled" |
+    /// "quarantined" -- the status string recorded into ResultDatabase
+    /// outcomes (and the checkpoint journal).
     [[nodiscard]] const char* label() const;
 };
+
+/// Inverse of outcome::label(), for journal replay ("retried" maps to ok;
+/// pair it with the recorded attempts). Unknown labels map to failed.
+[[nodiscard]] outcome::status status_from_label(const std::string& label);
 
 /// Notification before each retry: attempt just failed (1-based), its error
 /// text, and the backoff charged before the next attempt.

@@ -169,6 +169,7 @@ plan& plan::operator=(const plan& other) {
 plan plan::parse(const std::string& spec) {
     plan p;
     std::string_view rest = spec;
+    bool seeded = false;
     while (!rest.empty()) {
         const std::size_t semi = rest.find(';');
         std::string_view clause = trim(rest.substr(0, semi));
@@ -176,7 +177,13 @@ plan plan::parse(const std::string& spec) {
                                               : rest.substr(semi + 1);
         if (clause.empty()) continue;
         if (clause.rfind("seed=", 0) == 0) {
+            // A silently-overwritten seed makes "reproduce with the spec
+            // from the report" lie; duplicates are a spec error.
+            if (seeded)
+                throw spec_error("fault spec: duplicate seed= clause '" +
+                                 std::string(clause) + "'");
             p.seed_ = parse_uint(clause.substr(5), std::string(clause));
+            seeded = true;
             continue;
         }
         p.rules_.push_back(parse_rule(clause));

@@ -219,4 +219,35 @@ inline counter& fault_failures() {
     return c;
 }
 
+// ---- altis::resilience ----------------------------------------------------
+
+inline counter& resilience_deadline_misses() {
+    static counter& c = registry::instance().get_counter(
+        "resilience_deadline_misses_total",
+        "Configurations cancelled because they overran --deadline-ms");
+    return c;
+}
+
+inline counter& resilience_quarantined() {
+    static counter& c = registry::instance().get_counter(
+        "resilience_quarantined_total",
+        "Configurations skipped by an open circuit breaker");
+    return c;
+}
+
+inline counter& resilience_replays() {
+    static counter& c = registry::instance().get_counter(
+        "resilience_replayed_total",
+        "Configurations replayed from a --resume journal instead of re-run");
+    return c;
+}
+
+inline histogram& resilience_cancel_latency_ns() {
+    static histogram& h = registry::instance().get_histogram(
+        "resilience_cancel_latency_ns",
+        "Wall-clock ns from the cancellation being due (deadline expiry or "
+        "cancel()) to a checkpoint raising it");
+    return h;
+}
+
 }  // namespace altis::metrics::instruments

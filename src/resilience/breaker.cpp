@@ -1,0 +1,51 @@
+#include "resilience/breaker.hpp"
+
+namespace altis::resilience {
+
+bool breaker::admit(const std::string& key) {
+    if (!policy_.enabled()) return true;
+    entry& e = keys_[key];
+    switch (e.st) {
+        case state::closed:
+        case state::half_open:
+            return true;
+        case state::open:
+            // The probe comes only after `cooldown` encounters have been
+            // quarantined, as documented in breaker.hpp.
+            if (e.skipped_since >= policy_.cooldown) {
+                e.st = state::half_open;
+                return true;  // the probe
+            }
+            ++e.skipped_since;
+            return false;
+    }
+    return true;
+}
+
+void breaker::report(const std::string& key, bool hard_failure) {
+    if (!policy_.enabled()) return;
+    entry& e = keys_[key];
+    if (!hard_failure) {
+        e.st = state::closed;
+        e.consecutive = 0;
+        e.skipped_since = 0;
+        return;
+    }
+    ++e.consecutive;
+    if (e.st == state::half_open || e.consecutive >= policy_.threshold) {
+        e.st = state::open;
+        e.skipped_since = 0;
+    }
+}
+
+breaker::state breaker::state_of(const std::string& key) const {
+    const auto it = keys_.find(key);
+    return it == keys_.end() ? state::closed : it->second.st;
+}
+
+int breaker::consecutive_failures(const std::string& key) const {
+    const auto it = keys_.find(key);
+    return it == keys_.end() ? 0 : it->second.consecutive;
+}
+
+}  // namespace altis::resilience

@@ -1,0 +1,57 @@
+// Per-configuration circuit breaker for the resilient sweeps: a key (the
+// configuration sans size, e.g. "KMeans/fpga_opt/stratix_10") that fails
+// hard `threshold` times in a row trips open, and further encounters are
+// quarantined -- skipped with a `quarantined` outcome -- instead of
+// re-burning the full retry budget on a deterministic failure. After
+// `cooldown` quarantined encounters the breaker goes half-open and admits
+// one probe: success closes it, another hard failure re-opens it.
+//
+// Deliberately not thread-safe: the sweeps are single-threaded config
+// loops, and the supervisor owns one breaker per run.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace altis::resilience {
+
+struct breaker_policy {
+    /// Consecutive hard failures before the key trips open; 0 disables the
+    /// breaker entirely.
+    int threshold = 3;
+    /// Quarantined encounters before a half-open probe is admitted.
+    int cooldown = 2;
+
+    [[nodiscard]] bool enabled() const { return threshold > 0; }
+};
+
+class breaker {
+public:
+    enum class state { closed, open, half_open };
+
+    explicit breaker(breaker_policy policy = {}) : policy_(policy) {}
+
+    /// Called before running `key`. False means quarantine this encounter.
+    [[nodiscard]] bool admit(const std::string& key);
+
+    /// Report an admitted run: `hard_failure` is a terminal outcome
+    /// (failed / deadline), success or a skip is not.
+    void report(const std::string& key, bool hard_failure);
+
+    [[nodiscard]] state state_of(const std::string& key) const;
+    /// Consecutive hard failures currently accumulated for `key`.
+    [[nodiscard]] int consecutive_failures(const std::string& key) const;
+    [[nodiscard]] const breaker_policy& policy() const { return policy_; }
+
+private:
+    struct entry {
+        state st = state::closed;
+        int consecutive = 0;     ///< hard failures in a row
+        int skipped_since = 0;   ///< quarantined encounters while open
+    };
+
+    breaker_policy policy_;
+    std::map<std::string, entry> keys_;
+};
+
+}  // namespace altis::resilience

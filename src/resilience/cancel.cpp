@@ -1,0 +1,136 @@
+#include "resilience/cancel.hpp"
+
+#include <csignal>
+
+#include "metrics/instruments.hpp"
+
+namespace altis::resilience {
+
+namespace detail {
+cancel_token g_token;
+}  // namespace detail
+
+const char* to_string(cancel_reason r) {
+    switch (r) {
+        case cancel_reason::none: return "none";
+        case cancel_reason::manual: return "manual";
+        case cancel_reason::deadline: return "deadline";
+        case cancel_reason::interrupt: return "interrupt";
+    }
+    return "?";
+}
+
+bool cancel_token::deadline_expired() noexcept {
+    const std::uint64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl == 0) return false;
+    const std::uint64_t now = clock_ns();
+    if (now < dl) return false;
+    latch(cancel_reason::deadline, now);
+    return true;
+}
+
+void cancel_token::latch(cancel_reason r, std::uint64_t now) noexcept {
+    // Earliest observation wins on both fields, so concurrent workers
+    // hitting the deadline together agree on one origin and one reason.
+    std::uint64_t expected_ns = 0;
+    cancel_ns_.compare_exchange_strong(expected_ns, now,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed);
+    std::uint32_t expected_r = 0;
+    reason_.compare_exchange_strong(expected_r, static_cast<std::uint32_t>(r),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+    state_.fetch_or(1U, std::memory_order_release);
+}
+
+void cancel_token::raise_if_cancelled() {
+    if (!should_stop()) return;
+    const cancel_reason r = reason();
+    if (metrics::collecting()) {
+        // Latency from the moment cancellation was due (the armed deadline
+        // for deadline misses, the cancel() call otherwise) to this raise:
+        // how long the hung path took to actually let go.
+        const std::uint64_t now = clock_ns();
+        std::uint64_t origin = 0;
+        if (r == cancel_reason::deadline)
+            origin = deadline_ns_.load(std::memory_order_relaxed);
+        if (origin == 0) origin = cancel_ns_.load(std::memory_order_relaxed);
+        if (origin != 0 && now > origin)
+            metrics::instruments::resilience_cancel_latency_ns().record(
+                now - origin);
+    }
+    std::string msg;
+    switch (r) {
+        case cancel_reason::deadline: {
+            msg = "cancelled: deadline of " + std::to_string(budget_ms()) +
+                  " ms exceeded";
+            break;
+        }
+        case cancel_reason::interrupt:
+            msg = "cancelled: interrupted (SIGINT/SIGTERM)";
+            break;
+        default: msg = "cancelled"; break;
+    }
+    throw cancelled_error(r, msg);
+}
+
+void cancel_token::arm(double ms) noexcept {
+    if (ms > 0.0) {
+        budget_us_.store(static_cast<std::uint64_t>(ms * 1e3),
+                         std::memory_order_relaxed);
+        deadline_ns_.store(clock_ns() + static_cast<std::uint64_t>(ms * 1e6),
+                           std::memory_order_relaxed);
+    }
+    state_.fetch_add(2U, std::memory_order_release);
+}
+
+void cancel_token::disarm() noexcept {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    budget_us_.store(0, std::memory_order_relaxed);
+    if (reason() == cancel_reason::deadline) {
+        // A deadline miss is scoped to the configuration that overran; the
+        // next one starts with a clean token. By disarm time the config's
+        // workers have unwound, so nobody is concurrently observing.
+        reason_.store(0, std::memory_order_relaxed);
+        cancel_ns_.store(0, std::memory_order_relaxed);
+        state_.fetch_and(~1U, std::memory_order_release);
+    }
+    state_.fetch_sub(2U, std::memory_order_release);
+}
+
+void cancel_token::reset() noexcept {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    budget_us_.store(0, std::memory_order_relaxed);
+    reason_.store(0, std::memory_order_relaxed);
+    cancel_ns_.store(0, std::memory_order_relaxed);
+    state_.store(0, std::memory_order_release);
+}
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) noexcept {
+    // Async-signal-safe: two lock-free atomic stores. Everything else (the
+    // journal flush, the partial report) happens on the sweep thread once
+    // it observes the token between configurations.
+    g_signal.store(sig, std::memory_order_relaxed);
+    detail::g_token.cancel(cancel_reason::interrupt);
+}
+
+}  // namespace
+
+void install_signal_cancellation() {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+}
+
+bool interrupted() noexcept {
+    return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int interrupt_signal() noexcept {
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace altis::resilience

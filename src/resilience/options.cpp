@@ -1,0 +1,69 @@
+#include "resilience/options.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace altis::resilience {
+
+void add_resilience_options(OptionParser& opts) {
+    opts.add_option("deadline-ms", "",
+                    "wall-clock budget per configuration; overruns are "
+                    "cancelled and recorded as 'deadline' (default: "
+                    "$ALTIS_DEADLINE_MS, else no deadline)");
+    opts.add_option("journal", "",
+                    "append a crash-safe JSONL checkpoint per completed "
+                    "configuration to <path>");
+    opts.add_option("resume", "",
+                    "replay completed configurations from a journal and "
+                    "continue, appending to it");
+    opts.add_option("breaker-threshold", "3",
+                    "consecutive hard failures before a configuration is "
+                    "quarantined (0 disables the circuit breaker)");
+    opts.add_option("breaker-cooldown", "2",
+                    "quarantined encounters before a half-open probe");
+}
+
+namespace {
+
+double checked_deadline(const std::string& text, const std::string& origin) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        throw OptionError(origin + " expects a number, got: " + text);
+    if (errno == ERANGE || !std::isfinite(v) || v < 0.0 || v > 1e9)
+        throw OptionError(origin +
+                          " must be a finite value in [0, 1e9] ms, got: " +
+                          text);
+    return v;
+}
+
+}  // namespace
+
+options options::from(const OptionParser& opts) {
+    options o;
+    std::string deadline = opts.get_string("deadline-ms");
+    std::string origin = "--deadline-ms";
+    if (deadline.empty()) {
+        if (const char* env = std::getenv("ALTIS_DEADLINE_MS")) {
+            deadline = env;
+            origin = "$ALTIS_DEADLINE_MS";
+        }
+    }
+    if (!deadline.empty()) o.deadline_ms = checked_deadline(deadline, origin);
+    o.journal_path = opts.get_string("journal");
+    o.resume_path = opts.get_string("resume");
+    const std::int64_t threshold = opts.get_int("breaker-threshold");
+    if (threshold < 0 || threshold > 1000000)
+        throw OptionError("--breaker-threshold must be in [0, 1000000], got: " +
+                          opts.get_string("breaker-threshold"));
+    const std::int64_t cooldown = opts.get_int("breaker-cooldown");
+    if (cooldown < 0 || cooldown > 1000000)
+        throw OptionError("--breaker-cooldown must be in [0, 1000000], got: " +
+                          opts.get_string("breaker-cooldown"));
+    o.breaker.threshold = static_cast<int>(threshold);
+    o.breaker.cooldown = static_cast<int>(cooldown);
+    return o;
+}
+
+}  // namespace altis::resilience

@@ -1,0 +1,79 @@
+#include "resilience/supervisor.hpp"
+
+#include "metrics/instruments.hpp"
+
+namespace altis::resilience {
+
+supervisor::supervisor(const options& opts, const std::string& sweep)
+    : opts_(opts), breaker_(opts.breaker) {
+    if (!opts_.resume_path.empty()) {
+        if (auto jf = read_journal(opts_.resume_path, sweep)) {
+            for (auto& e : jf->entries) {
+                // Interrupted configs are journaled as nothing; a stray
+                // "cancelled" line (older files) must re-run too.
+                if (e.status == "cancelled") continue;
+                replay_.emplace(e.config, std::move(e));
+            }
+        }
+    }
+    if (!opts_.journal_path.empty()) {
+        // An explicit --journal wins over appending to the resume file:
+        // the fresh journal re-records everything (including replays), so
+        // it is a compacted, complete checkpoint of this run.
+        writer_.emplace(opts_.journal_path, sweep, /*append=*/false);
+    } else if (!opts_.resume_path.empty()) {
+        writer_.emplace(opts_.resume_path, sweep, /*append=*/true);
+        writer_appends_ = true;
+    }
+}
+
+supervisor::result supervisor::run(
+    const std::string& config, const std::string& breaker_key,
+    const std::function<journal_entry()>& body) {
+    if (const auto it = replay_.find(config); it != replay_.end()) {
+        result r{it->second, /*replayed=*/true};
+        // Drive the breaker through the same admit/report sequence the
+        // original run took: the sweep re-encounters configs in the same
+        // deterministic order, so breaker state (and every later
+        // quarantine decision) evolves identically to the uninterrupted
+        // run -- which is what makes the final report byte-identical.
+        if (r.entry.status == "quarantined") {
+            (void)breaker_.admit(breaker_key);
+        } else {
+            (void)breaker_.admit(breaker_key);
+            breaker_.report(breaker_key, hard_failure(r.entry.status));
+        }
+        if (metrics::collecting())
+            metrics::instruments::resilience_replays().add();
+        if (writer_ && !writer_appends_) writer_->append(r.entry);
+        return r;
+    }
+
+    if (!breaker_.admit(breaker_key)) {
+        result r;
+        r.entry.config = config;
+        r.entry.status = "quarantined";
+        r.entry.attempts = 0;
+        r.entry.error = "circuit open: " + std::to_string(breaker_.policy().threshold) +
+                        " consecutive hard failures of " + breaker_key +
+                        " (probe after " +
+                        std::to_string(breaker_.policy().cooldown) +
+                        " more configs)";
+        if (metrics::collecting())
+            metrics::instruments::resilience_quarantined().add();
+        if (writer_) writer_->append(r.entry);
+        return r;
+    }
+
+    result r;
+    {
+        deadline_scope deadline(opts_.deadline_ms);
+        r.entry = body();
+    }
+    r.entry.config = config;
+    breaker_.report(breaker_key, hard_failure(r.entry.status));
+    if (writer_ && r.entry.status != "cancelled") writer_->append(r.entry);
+    return r;
+}
+
+}  // namespace altis::resilience

@@ -1,0 +1,68 @@
+// The sweep supervisor: one object per harness run that wraps every
+// configuration with (in order) journal replay, circuit-breaker admission,
+// a per-configuration deadline scope, and crash-safe journaling of the
+// result. The body callback runs the configuration (typically through
+// fault::run_guarded) and reports it as a journal_entry; the supervisor
+// never interprets the entry beyond its status string, so altis_run and
+// the fig sweeps share it unchanged.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "resilience/breaker.hpp"
+#include "resilience/cancel.hpp"
+#include "resilience/journal.hpp"
+#include "resilience/options.hpp"
+
+namespace altis::resilience {
+
+class supervisor {
+public:
+    /// Opens/reads the journal per `opts`. Throws std::runtime_error when
+    /// the resume journal is unreadable or belongs to a different sweep
+    /// (callers turn that into exit code 2).
+    supervisor(const options& opts, const std::string& sweep);
+
+    struct result {
+        journal_entry entry;
+        bool replayed = false;  ///< came from the resume journal, body not run
+    };
+
+    /// Runs one configuration:
+    ///  1. a completed `config` in the resume journal is replayed verbatim
+    ///     (feeding the breaker exactly as the original run did, so
+    ///     breaker decisions evolve identically);
+    ///  2. an open breaker for `breaker_key` quarantines the config
+    ///     without running it (status "quarantined");
+    ///  3. otherwise `body` runs under the configured deadline scope and
+    ///     its entry is journaled (fsync'd) before this returns.
+    /// Cancelled entries (status "cancelled": Ctrl-C, not a deadline) are
+    /// not journaled -- an interrupted config re-runs on resume.
+    result run(const std::string& config, const std::string& breaker_key,
+               const std::function<journal_entry()>& body);
+
+    /// Terminal statuses that count against the breaker.
+    [[nodiscard]] static bool hard_failure(const std::string& status) {
+        return status == "failed" || status == "deadline";
+    }
+
+    [[nodiscard]] const options& opts() const { return opts_; }
+    [[nodiscard]] breaker& circuit() { return breaker_; }
+    /// Path entries are being appended to (empty when not journaling).
+    [[nodiscard]] std::string journal_path() const {
+        return writer_ ? writer_->path() : std::string();
+    }
+    [[nodiscard]] std::size_t replayable() const { return replay_.size(); }
+
+private:
+    options opts_;
+    breaker breaker_;
+    std::optional<journal_writer> writer_;
+    bool writer_appends_ = false;  ///< writer continues the resume journal
+    std::map<std::string, journal_entry> replay_;
+};
+
+}  // namespace altis::resilience

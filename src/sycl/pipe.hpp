@@ -43,6 +43,7 @@
 
 #include "fault/inject.hpp"
 #include "metrics/instruments.hpp"
+#include "resilience/cancel.hpp"
 
 namespace syclite {
 
@@ -299,6 +300,15 @@ private:
         std::atomic_thread_fence(std::memory_order_seq_cst);
         for (;;) {
             if (ready()) break;
+            // A parked endpoint must stay cancellable: the bounded slices
+            // double as cancellation checkpoints, so a blocked pipe op wakes
+            // within ~kSlice of a deadline/SIGINT instead of riding out the
+            // full watchdog timeout.
+            if (altis::resilience::cancellation_requested()) {
+                waiting_flag.store(false, std::memory_order_relaxed);
+                meter_blocked();
+                altis::resilience::checkpoint();  // raises cancelled_error
+            }
             const auto now = std::chrono::steady_clock::now();
             if (now >= deadline) {
                 waiting_flag.store(false, std::memory_order_relaxed);
@@ -325,8 +335,21 @@ private:
     /// through the ordinary deadlock path.
     void maybe_injected_stall(const char* op) {
         if (!altis::fault::should_stall_pipe(name_)) return;
+        const auto deadline = std::chrono::steady_clock::now() + timeout_;
+        constexpr auto kSlice = std::chrono::milliseconds(1);
         std::unique_lock lock(mutex_);
-        stall_cv_.wait_for(lock, timeout_, [] { return false; });
+        // Sliced like wait_until so an injected hang is still cancellable
+        // by the deadline supervisor (the hang-injection tests depend on a
+        // small --deadline-ms cutting a huge pipe timeout short).
+        for (;;) {
+            altis::resilience::checkpoint();
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) break;
+            stall_cv_.wait_for(lock,
+                               std::min<std::chrono::steady_clock::duration>(
+                                   kSlice, deadline - now),
+                               [] { return false; });
+        }
         throw pipe_deadlock("[injected stall] " + deadlock_message(op));
     }
 

@@ -13,6 +13,7 @@
 #include "metrics/instruments.hpp"
 #include "perf/model.hpp"
 #include "perf/resource_model.hpp"
+#include "resilience/cancel.hpp"
 #include "sycl/pipe.hpp"
 
 namespace syclite {
@@ -186,6 +187,7 @@ event queue::finish_submit(handler&& h) {
 
     retire_guard retire{recorder_, h.cg_.id};
     try {
+        altis::resilience::checkpoint();
         fault::maybe_inject(fault::op_kind::launch, h.stats().name,
                             "kernel launch failed");
         inflight_guard inflight;
@@ -256,6 +258,7 @@ void queue::launch_dataflow_workers() {
                 we.index = index;
                 we.kernel = name;
                 try {
+                    altis::resilience::checkpoint();
                     fault::maybe_inject(fault::op_kind::launch, name,
                                         "kernel launch failed");
                     inflight_guard inflight;
@@ -268,6 +271,13 @@ void queue::launch_dataflow_workers() {
                     we.error = std::current_exception();
                     we.pipe_blocked = true;
                     we.detail = pd.what();
+                } catch (const altis::resilience::cancelled_error&) {
+                    // Cancellation reached a worker mid-kernel (deadline
+                    // supervisor or signal). Flagged so end_dataflow()
+                    // rethrows it as the group's root cause instead of
+                    // folding it into a dataflow_error.
+                    we.error = std::current_exception();
+                    we.cancelled = true;
                 } catch (...) {
                     we.error = std::current_exception();
                 }
@@ -333,6 +343,15 @@ std::vector<event> queue::end_dataflow() {
                   [](const worker_error& a, const worker_error& b) {
                       return a.index < b.index;
                   });
+        // Cancellation outranks every other failure in the group: the
+        // supervisor pulled the plug, so peers that then saw a dead pipe are
+        // collateral. Rethrow directly -- never routed through an async
+        // handler, a cancelled sweep must unwind.
+        for (const auto& we : errors)
+            if (we.cancelled) {
+                record_error_span("dataflow cancelled");
+                std::rethrow_exception(we.error);
+            }
         std::vector<std::string> blocked;
         std::string detail;
         for (const auto& we : errors) {
@@ -422,6 +441,7 @@ void queue::wait() {
     if (in_dataflow_)
         throw std::logic_error("queue: wait() inside a dataflow group -- call "
                                "end_dataflow() first");
+    altis::resilience::checkpoint();
     if (altis::metrics::collecting())
         altis::metrics::instruments::queue_waits().add();
     const double sync = perf::sync_overhead_ns(rt_, dev_);

@@ -186,6 +186,7 @@ private:
         std::string kernel;
         std::exception_ptr error;
         bool pipe_blocked = false;  ///< failure was a pipe deadlock-timeout
+        bool cancelled = false;     ///< cooperative cancellation, not a fault
         std::string detail;         ///< deadlock message (pipe, occupancy)
     };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "metrics/instruments.hpp"
+#include "resilience/cancel.hpp"
 
 namespace syclite {
 
@@ -50,6 +51,11 @@ void thread_pool::run_job(job& j) {
     const std::uint64_t t0 = metered ? now_ns() : 0;
     std::uint64_t chunks = 0;
     for (;;) {
+        // Observe cooperative cancellation between chunks: workers must not
+        // throw (they would terminate the pool), so they simply stop
+        // claiming work; the submitting thread raises after the drain in
+        // parallel_for.
+        if (altis::resilience::cancellation_requested()) break;
         const std::size_t begin = j.next.fetch_add(j.chunk);
         if (begin >= j.n) break;
         const std::size_t end = std::min(begin + j.chunk, j.n);
@@ -114,7 +120,12 @@ void thread_pool::parallel_for(std::size_t n,
         // global pool has no workers and this is the only execution path.
         const bool metered = altis::metrics::collecting();
         const std::uint64_t t0 = metered ? now_ns() : 0;
-        for (std::size_t i = 0; i < n; ++i) fn(i);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Masked so the disabled-token fast path costs one relaxed load
+            // per 1024 iterations, not per iteration.
+            if ((i & 1023u) == 0u) altis::resilience::checkpoint();
+            fn(i);
+        }
         if (metered) {
             namespace mi = altis::metrics::instruments;
             mi::pool_worker_busy_ns().add(now_ns() - t0);
@@ -138,6 +149,10 @@ void thread_pool::parallel_for(std::size_t n,
             return j.active_workers.load(std::memory_order_relaxed) == 0;
         });
     }
+    // Workers bailed silently on cancellation; raise it here on the
+    // submitting thread, after the job is retired and nobody references the
+    // stack-allocated state anymore.
+    altis::resilience::checkpoint();
 }
 
 thread_pool& thread_pool::global() {

@@ -46,12 +46,16 @@ void write_event(std::ostream& out, const span& s) {
     out << ", \"ph\": \"X\", \"ts\": " << s.start_ns / 1e3
         << ", \"dur\": " << s.duration_ns() / 1e3
         << ", \"pid\": 1, \"tid\": " << tid_for(s);
-    // Failed/retried spans get a color override so injections and retries
-    // jump out of the timeline without opening the args panel.
+    // Degraded spans get a color override so injections, retries and
+    // cancellations jump out of the timeline without opening the args panel.
     if (s.status == span_status::failed)
         out << ", \"cname\": \"terrible\"";
     else if (s.status == span_status::retried)
         out << ", \"cname\": \"bad\"";
+    else if (s.status == span_status::cancelled)
+        out << ", \"cname\": \"black\"";
+    else if (s.status == span_status::quarantined)
+        out << ", \"cname\": \"grey\"";
     out << ", \"args\": {\"kind\": ";
     write_escaped(out, to_string(s.kind));
     if (s.status != span_status::ok) {

@@ -1,6 +1,7 @@
 #include "trace/harness.hpp"
 
 #include <iostream>
+#include <stdexcept>
 #include <utility>
 
 namespace altis::trace {
@@ -10,18 +11,29 @@ cli_harness::cli_harness(std::string name) : session_(std::move(name)) {
     fault::add_fault_options(opts_);
     analyze::add_sanitize_options(opts_);
     metrics::add_metrics_options(opts_);
+    resilience::add_resilience_options(opts_);
 }
 
 int cli_harness::parse(int argc, char** argv) {
     try {
         if (!opts_.parse(argc, argv, std::cout)) return 0;  // --help
         aopts_ = analyze::options::from(opts_);
+        topts_ = options::from(opts_);
+        fopts_ = fault::options::from(opts_);
+        ropts_ = resilience::options::from(opts_);
     } catch (const OptionError& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 2;
     }
-    topts_ = options::from(opts_);
-    fopts_ = fault::options::from(opts_);
+    if (ropts_.enabled()) {
+        try {
+            supervisor_.emplace(ropts_, session_.name());
+        } catch (const std::runtime_error& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
+        resilience::install_signal_cancellation();
+    }
     if (aopts_.enabled()) {
         recorder_.emplace(aopts_.lv);
         sanitize_scope_.emplace(*recorder_);

@@ -18,6 +18,8 @@
 #include "fault/options.hpp"
 #include "metrics/options.hpp"
 #include "metrics/session.hpp"
+#include "resilience/options.hpp"
+#include "resilience/supervisor.hpp"
 #include "trace/options.hpp"
 #include "trace/session.hpp"
 
@@ -72,12 +74,26 @@ public:
         return msession_ ? &*msession_ : nullptr;
     }
 
+    /// Resilience options parsed from --deadline-ms/--journal/--resume/
+    /// --breaker-* ($ALTIS_DEADLINE_MS). When any supervisor feature is
+    /// requested, parse() constructs the supervisor (validating a --resume
+    /// journal against the harness name; a mismatch is exit code 2) and
+    /// installs SIGINT/SIGTERM cooperative cancellation.
+    [[nodiscard]] const resilience::options& resilience_options() const {
+        return ropts_;
+    }
+    [[nodiscard]] resilience::supervisor* supervisor() {
+        return supervisor_ ? &*supervisor_ : nullptr;
+    }
+
 private:
     OptionParser opts_;
     trace::options topts_;
     fault::options fopts_;
     analyze::options aopts_;
     metrics::options mopts_;
+    resilience::options ropts_;
+    std::optional<resilience::supervisor> supervisor_;
     std::optional<fault::plan> plan_;
     std::optional<fault::scope> fault_scope_;
     std::optional<analyze::recorder> recorder_;

@@ -28,6 +28,8 @@ const char* to_string(span_status s) {
         case span_status::ok: return "ok";
         case span_status::failed: return "failed";
         case span_status::retried: return "retried";
+        case span_status::cancelled: return "cancelled";
+        case span_status::quarantined: return "quarantined";
     }
     return "?";
 }

@@ -25,12 +25,16 @@ enum class span_kind {
 
 /// Failure flag for spans: operations hit by fault injection (or real
 /// errors) are marked `failed`; a successful re-attempt after a retryable
-/// fault is marked `retried`. Exporters surface the flag so timelines show
-/// exactly where injections landed.
+/// fault is marked `retried`. Configurations the resilience supervisor cut
+/// short carry `cancelled` (deadline expiry or SIGINT/SIGTERM) and
+/// breaker-skipped ones carry `quarantined`. Exporters surface the flag so
+/// timelines show exactly where injections and cancellations landed.
 enum class span_status {
     ok,
     failed,
     retried,
+    cancelled,
+    quarantined,
 };
 
 [[nodiscard]] const char* to_string(span_status s);

@@ -41,6 +41,55 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
     EXPECT_THROW(plan::parse("seed=abc"), spec_error);
 }
 
+std::string parse_error(const std::string& spec) {
+    try {
+        (void)plan::parse(spec);
+    } catch (const spec_error& e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(FaultSpec, EmptyClausesAreTolerated) {
+    // Stray semicolons (";;", trailing ";") are not rules; they parse to an
+    // empty plan rather than erroring, so generated specs can be sloppy
+    // about separators.
+    EXPECT_TRUE(plan::parse(";;").empty());
+    EXPECT_TRUE(plan::parse(" ; ; ").empty());
+    plan p = plan::parse("alloc@1;;");
+    EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(FaultSpec, ExactErrorForRuleWithNoKind) {
+    EXPECT_EQ(parse_error("@1"),
+              "fault spec: unknown kind '' in @1 "
+              "(expected alloc|launch|transfer|pipe|device)");
+    EXPECT_EQ(parse_error(":map@1"),
+              "fault spec: unknown kind '' in :map@1 "
+              "(expected alloc|launch|transfer|pipe|device)");
+}
+
+TEST(FaultSpec, ExactErrorForRuleWithNoTrigger) {
+    EXPECT_EQ(parse_error("alloc"),
+              "fault spec: rule 'alloc' has no trigger (expected @N[xM] or %P)");
+}
+
+TEST(FaultSpec, ExactErrorForProbabilityOutOfRange) {
+    EXPECT_EQ(parse_error("alloc%1.5"),
+              "fault spec: probability must be in [0,1], got '1.5' in "
+              "alloc%1.5");
+    EXPECT_EQ(parse_error("alloc%-0.1"),
+              "fault spec: probability must be in [0,1], got '-0.1' in "
+              "alloc%-0.1");
+}
+
+TEST(FaultSpec, ExactErrorForDuplicateSeed) {
+    EXPECT_EQ(parse_error("seed=1;alloc@1;seed=2"),
+              "fault spec: duplicate seed= clause 'seed=2'");
+    // A single seed clause stays legal wherever it appears.
+    EXPECT_EQ(plan::parse("alloc@1;seed=9").seed(), 9u);
+}
+
 TEST(FaultSpec, GlobMatching) {
     EXPECT_TRUE(glob_match("", "anything"));
     EXPECT_TRUE(glob_match("*", "anything"));

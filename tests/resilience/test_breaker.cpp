@@ -1,0 +1,100 @@
+#include "resilience/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace altis::resilience {
+namespace {
+
+breaker_policy make_policy(int threshold, int cooldown) {
+    breaker_policy p;
+    p.threshold = threshold;
+    p.cooldown = cooldown;
+    return p;
+}
+
+TEST(Breaker, ClosedUntilThresholdConsecutiveHardFailures) {
+    breaker b(make_policy(3, 2));
+    const std::string key = "KMeans/fpga_opt/stratix_10";
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_TRUE(b.admit(key));
+        b.report(key, /*hard_failure=*/true);
+        EXPECT_EQ(b.state_of(key), breaker::state::closed);
+    }
+    EXPECT_EQ(b.consecutive_failures(key), 2);
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, true);
+    EXPECT_EQ(b.state_of(key), breaker::state::open);
+    EXPECT_FALSE(b.admit(key)) << "open breaker must quarantine";
+}
+
+TEST(Breaker, SuccessResetsTheConsecutiveCount) {
+    breaker b(make_policy(2, 1));
+    const std::string key = "CFD/fpga_base/stratix_10";
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, true);
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, /*hard_failure=*/false);
+    EXPECT_EQ(b.consecutive_failures(key), 0);
+    // The earlier failure no longer counts: one more failure stays closed.
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, true);
+    EXPECT_EQ(b.state_of(key), breaker::state::closed);
+}
+
+TEST(Breaker, HalfOpenProbeAfterCooldownClosesOnSuccess) {
+    breaker b(make_policy(1, 2));
+    const std::string key = "NW/fpga_opt/agilex";
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, true);  // trips immediately (threshold 1)
+    EXPECT_EQ(b.state_of(key), breaker::state::open);
+
+    // Two quarantined encounters serve the cooldown.
+    EXPECT_FALSE(b.admit(key));
+    EXPECT_FALSE(b.admit(key));
+
+    // Third encounter is the half-open probe.
+    EXPECT_TRUE(b.admit(key));
+    EXPECT_EQ(b.state_of(key), breaker::state::half_open);
+    b.report(key, /*hard_failure=*/false);
+    EXPECT_EQ(b.state_of(key), breaker::state::closed);
+    EXPECT_TRUE(b.admit(key));
+}
+
+TEST(Breaker, FailedProbeReopensAndRestartsCooldown) {
+    breaker b(make_policy(1, 1));
+    const std::string key = "k";
+    EXPECT_TRUE(b.admit(key));
+    b.report(key, true);
+    EXPECT_FALSE(b.admit(key));  // cooldown
+    EXPECT_TRUE(b.admit(key));   // probe
+    b.report(key, true);         // probe fails
+    EXPECT_EQ(b.state_of(key), breaker::state::open);
+    EXPECT_FALSE(b.admit(key));  // cooldown counts from zero again
+    EXPECT_TRUE(b.admit(key));   // next probe
+}
+
+TEST(Breaker, ZeroThresholdDisablesTheBreaker) {
+    breaker b(make_policy(0, 2));
+    EXPECT_FALSE(b.policy().enabled());
+    const std::string key = "k";
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(b.admit(key));
+        b.report(key, true);
+    }
+    EXPECT_EQ(b.state_of(key), breaker::state::closed);
+}
+
+TEST(Breaker, KeysAreIndependent) {
+    breaker b(make_policy(1, 1));
+    EXPECT_TRUE(b.admit("a"));
+    b.report("a", true);
+    EXPECT_EQ(b.state_of("a"), breaker::state::open);
+    // A different configuration key is untouched by a's trip.
+    EXPECT_EQ(b.state_of("b"), breaker::state::closed);
+    EXPECT_TRUE(b.admit("b"));
+    b.report("b", false);
+    EXPECT_EQ(b.state_of("b"), breaker::state::closed);
+}
+
+}  // namespace
+}  // namespace altis::resilience

@@ -1,0 +1,255 @@
+#include "resilience/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "resilience/cancel.hpp"
+
+namespace altis::resilience {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+    return ::testing::TempDir() + "altis_supervisor_" + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+journal_entry entry_for(const std::string& config, const std::string& status,
+                        double value) {
+    journal_entry e;
+    e.config = config;
+    e.status = status;
+    if (status == "ok" || status == "retried") e.value = value;
+    if (status == "failed") e.error = "injected fault";
+    e.log = config + ": " + status + "\n";
+    return e;
+}
+
+class Supervisor : public ::testing::Test {
+protected:
+    void SetUp() override { current().reset(); }
+    void TearDown() override { current().reset(); }
+};
+
+TEST_F(Supervisor, FreshJournalRecordsEveryCompletedConfig) {
+    const std::string path = tmp_path("fresh.jsonl");
+    std::remove(path.c_str());
+    options o;
+    o.journal_path = path;
+    supervisor sup(o, "sweep");
+    EXPECT_EQ(sup.journal_path(), path);
+    EXPECT_EQ(sup.replayable(), 0u);
+
+    auto r1 = sup.run("a", "key", [] { return entry_for("a", "ok", 1.0); });
+    EXPECT_FALSE(r1.replayed);
+    auto r2 = sup.run("b", "key", [] { return entry_for("b", "failed", 0); });
+    EXPECT_EQ(r2.entry.status, "failed");
+
+    const auto jf = read_journal(path, "sweep");
+    ASSERT_TRUE(jf.has_value());
+    ASSERT_EQ(jf->entries.size(), 2u);
+    EXPECT_EQ(jf->entries[0].config, "a");
+    EXPECT_EQ(jf->entries[1].status, "failed");
+}
+
+TEST_F(Supervisor, ResumeReplaysVerbatimWithoutRunningTheBody) {
+    const std::string path = tmp_path("resume.jsonl");
+    std::remove(path.c_str());
+    {
+        options o;
+        o.journal_path = path;
+        supervisor sup(o, "sweep");
+        sup.run("a", "k", [] { return entry_for("a", "retried", 2.5); });
+    }
+    const std::string after_first = slurp(path);
+
+    options o;
+    o.resume_path = path;
+    supervisor sup(o, "sweep");
+    EXPECT_EQ(sup.replayable(), 1u);
+    int body_calls = 0;
+    auto r = sup.run("a", "k", [&] {
+        ++body_calls;
+        return entry_for("a", "ok", 9.9);
+    });
+    EXPECT_TRUE(r.replayed);
+    EXPECT_EQ(body_calls, 0) << "replayed configs must not re-run";
+    EXPECT_EQ(r.entry.status, "retried");
+    ASSERT_TRUE(r.entry.value.has_value());
+    EXPECT_EQ(*r.entry.value, 2.5);
+    EXPECT_EQ(r.entry.log, "a: retried\n");
+
+    // Replay appends nothing; a new config extends the same file.
+    EXPECT_EQ(slurp(path), after_first);
+    auto r2 = sup.run("b", "k", [] { return entry_for("b", "ok", 1.0); });
+    EXPECT_FALSE(r2.replayed);
+    const auto jf = read_journal(path, "sweep");
+    ASSERT_TRUE(jf.has_value());
+    EXPECT_EQ(jf->entries.size(), 2u);
+}
+
+TEST_F(Supervisor, ResumeWithFreshJournalCompacts) {
+    const std::string old_path = tmp_path("old.jsonl");
+    const std::string new_path = tmp_path("new.jsonl");
+    std::remove(old_path.c_str());
+    std::remove(new_path.c_str());
+    {
+        options o;
+        o.journal_path = old_path;
+        supervisor sup(o, "sweep");
+        sup.run("a", "k", [] { return entry_for("a", "ok", 1.0); });
+    }
+    // Resume from the old journal but write a fresh one: replays are
+    // re-recorded so the new journal is complete on its own.
+    options o;
+    o.resume_path = old_path;
+    o.journal_path = new_path;
+    supervisor sup(o, "sweep");
+    auto r = sup.run("a", "k", [] { return entry_for("a", "ok", 7.0); });
+    EXPECT_TRUE(r.replayed);
+    const auto jf = read_journal(new_path, "sweep");
+    ASSERT_TRUE(jf.has_value());
+    ASSERT_EQ(jf->entries.size(), 1u);
+    ASSERT_TRUE(jf->entries[0].value.has_value());
+    EXPECT_EQ(*jf->entries[0].value, 1.0) << "replay value, not the re-run";
+}
+
+TEST_F(Supervisor, ResumingADifferentSweepThrows) {
+    const std::string path = tmp_path("wrong_sweep.jsonl");
+    std::remove(path.c_str());
+    {
+        options o;
+        o.journal_path = path;
+        supervisor sup(o, "fig2_gpu_speedup");
+    }
+    options o;
+    o.resume_path = path;
+    EXPECT_THROW(supervisor(o, "fig4_fpga_opt"), std::runtime_error);
+}
+
+TEST_F(Supervisor, BreakerQuarantinesAfterThresholdAndProbesAfterCooldown) {
+    options o;
+    o.breaker.threshold = 2;
+    o.breaker.cooldown = 1;
+    supervisor sup(o, "sweep");
+    const std::string key = "app/fpga_opt/stratix_10";
+
+    int body_calls = 0;
+    auto fail_body = [&] {
+        ++body_calls;
+        return entry_for("c" + std::to_string(body_calls), "failed", 0);
+    };
+    (void)sup.run("c1", key, fail_body);
+    (void)sup.run("c2", key, fail_body);
+    EXPECT_EQ(body_calls, 2);
+
+    // Third encounter: breaker open, quarantined without running.
+    auto q = sup.run("c3", key, fail_body);
+    EXPECT_EQ(body_calls, 2);
+    EXPECT_FALSE(q.replayed);
+    EXPECT_EQ(q.entry.status, "quarantined");
+    EXPECT_EQ(q.entry.attempts, 0);
+    EXPECT_NE(q.entry.error.find("circuit open"), std::string::npos);
+    EXPECT_NE(q.entry.error.find(key), std::string::npos);
+
+    // Cooldown of 1 served; the next encounter is the half-open probe.
+    auto probe = sup.run("c4", key, [&] {
+        ++body_calls;
+        return entry_for("c4", "ok", 1.0);
+    });
+    EXPECT_EQ(body_calls, 3);
+    EXPECT_EQ(probe.entry.status, "ok");
+    EXPECT_EQ(sup.circuit().state_of(key), breaker::state::closed);
+}
+
+TEST_F(Supervisor, ReplayFeedsTheBreakerAcrossTheResumeBoundary) {
+    const std::string path = tmp_path("breaker_resume.jsonl");
+    std::remove(path.c_str());
+    const std::string key = "app/fpga_opt/stratix_10";
+    options o;
+    o.breaker.threshold = 2;
+    o.breaker.cooldown = 5;
+    o.journal_path = path;
+    {
+        supervisor sup(o, "sweep");
+        sup.run("c1", key, [] { return entry_for("c1", "failed", 0); });
+    }
+    // Resume: the replayed failure still counts, so one more live failure
+    // trips the breaker exactly as an uninterrupted run would.
+    options r;
+    r.breaker = o.breaker;
+    r.resume_path = path;
+    supervisor sup(r, "sweep");
+    auto c1 = sup.run("c1", key, [] { return entry_for("c1", "ok", 1.0); });
+    EXPECT_TRUE(c1.replayed);
+    EXPECT_EQ(sup.circuit().consecutive_failures(key), 1);
+    (void)sup.run("c2", key, [] { return entry_for("c2", "failed", 0); });
+    auto c3 = sup.run("c3", key, [] { return entry_for("c3", "ok", 1.0); });
+    EXPECT_EQ(c3.entry.status, "quarantined");
+}
+
+TEST_F(Supervisor, DeadlineStatusCountsAsHardFailure) {
+    EXPECT_TRUE(supervisor::hard_failure("failed"));
+    EXPECT_TRUE(supervisor::hard_failure("deadline"));
+    EXPECT_FALSE(supervisor::hard_failure("ok"));
+    EXPECT_FALSE(supervisor::hard_failure("retried"));
+    EXPECT_FALSE(supervisor::hard_failure("skipped"));
+    EXPECT_FALSE(supervisor::hard_failure("quarantined"));
+    EXPECT_FALSE(supervisor::hard_failure("cancelled"));
+}
+
+TEST_F(Supervisor, CancelledEntriesAreNotJournaled) {
+    const std::string path = tmp_path("cancelled.jsonl");
+    std::remove(path.c_str());
+    {
+        options o;
+        o.journal_path = path;
+        supervisor sup(o, "sweep");
+        sup.run("a", "k", [] { return entry_for("a", "ok", 1.0); });
+        sup.run("b", "k", [] { return entry_for("b", "cancelled", 0); });
+    }
+    const auto jf = read_journal(path, "sweep");
+    ASSERT_TRUE(jf.has_value());
+    ASSERT_EQ(jf->entries.size(), 1u) << "cancelled config must re-run later";
+    EXPECT_EQ(jf->entries[0].config, "a");
+
+    // And on resume it does re-run.
+    options o;
+    o.resume_path = path;
+    supervisor sup(o, "sweep");
+    int calls = 0;
+    auto r = sup.run("b", "k", [&] {
+        ++calls;
+        return entry_for("b", "ok", 2.0);
+    });
+    EXPECT_FALSE(r.replayed);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(Supervisor, BodyRunsUnderTheConfiguredDeadlineScope) {
+    options o;
+    o.deadline_ms = 1e6;  // far away: must arm, never fire
+    supervisor sup(o, "sweep");
+    bool armed = false;
+    sup.run("a", "k", [&] {
+        armed = current().budget_ms() > 0.0;
+        return entry_for("a", "ok", 1.0);
+    });
+    EXPECT_TRUE(armed);
+    // Scope left: disabled fast path again.
+    EXPECT_FALSE(cancellation_requested());
+    EXPECT_EQ(current().budget_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace altis::resilience
