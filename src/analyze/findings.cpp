@@ -1,5 +1,8 @@
 #include "analyze/findings.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -59,6 +62,19 @@ const std::vector<rule_info>& rule_catalog() {
         {"ALS-L6", "kernel does not fit the target device", severity::error,
          "Sec. 4",
          "reduce local arrays/unrolling or size local memory exactly"},
+        {"ALS-R1", "unordered conflicting access (happens-before race)",
+         severity::error, "Fig. 3",
+         "order the accesses through a pipe, queue::wait() or the dataflow "
+         "group join"},
+        {"ALS-R2", "pipe receive straddles a round boundary",
+         severity::warning, "Fig. 3",
+         "align burst sizes with items_per_round so one read never mixes "
+         "two rounds"},
+        {"ALS-D1", "observed access outside every declared range",
+         severity::error, "Sec. 3.2",
+         "declare the touched range with an accessor or uses_usm()"},
+        {"ALS-B1", "stale baseline entry", severity::note, "Sec. 6",
+         "remove the entry from the baseline file"},
     };
     return catalog;
 }
@@ -83,6 +99,54 @@ finding make_finding(const std::string& id, std::string kernel,
     return f;
 }
 
+namespace {
+
+/// Replaces every "0x<hex>" run with "0x?" so fingerprints are identical
+/// across address-space layouts.
+std::string canonicalize_pointers(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+        if (s[i] == '0' && i + 2 < s.size() && s[i + 1] == 'x' &&
+            (std::isxdigit(static_cast<unsigned char>(s[i + 2])) != 0)) {
+            out += "0x?";
+            i += 2;
+            while (i < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[i])) != 0)
+                ++i;
+            continue;
+        }
+        out += s[i++];
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string fingerprint(const finding& f) {
+    // FNV-1a 64 over the pointer-canonicalized identity fields.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const std::string& s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0x1f;  // field separator
+        h *= 0x100000001b3ULL;
+    };
+    mix(f.rule);
+    mix(f.kernel);
+    mix(canonicalize_pointers(f.object));
+    mix(canonicalize_pointers(f.message));
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xF];
+        h >>= 4;
+    }
+    return out;
+}
+
 void report::add(finding f) {
     for (const finding& g : findings_)
         if (g.rule == f.rule && g.kernel == f.kernel && g.object == f.object &&
@@ -93,6 +157,17 @@ void report::add(finding f) {
 
 void report::merge(const report& other) {
     for (const finding& f : other.findings_) add(f);
+}
+
+std::vector<finding> report::sorted_findings() const {
+    std::vector<finding> out = findings_;
+    std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
+        if (a.rule != b.rule) return a.rule < b.rule;
+        if (a.object != b.object) return a.object < b.object;
+        if (a.kernel != b.kernel) return a.kernel < b.kernel;
+        return a.message < b.message;
+    });
+    return out;
 }
 
 std::size_t report::count_at_least(severity s) const {
@@ -110,12 +185,13 @@ void report::render_text(std::ostream& out) const {
     out << "sanitize: " << findings_.size() << " finding"
         << (findings_.size() == 1 ? "" : "s") << " ("
         << count_at_least(severity::error) << " errors)\n";
+    const std::vector<finding> sorted = sorted_findings();
     Table t({"rule", "severity", "kernel", "object", "message", "paper"});
-    for (const finding& f : findings_)
+    for (const finding& f : sorted)
         t.add_row({f.rule, to_string(f.sev), f.kernel, f.object, f.message,
                    f.paper_ref});
     t.print(out);
-    for (const finding& f : findings_)
+    for (const finding& f : sorted)
         out << "  hint [" << f.rule << " " << f.kernel
             << "]: " << f.fix_hint << "\n";
 }
@@ -140,9 +216,10 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void report::render_json(std::ostream& out) const {
-    out << "[";
-    for (std::size_t i = 0; i < findings_.size(); ++i) {
-        const finding& f = findings_[i];
+    const std::vector<finding> sorted = sorted_findings();
+    out << "{\"findings\": [";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const finding& f = sorted[i];
         out << (i == 0 ? "" : ",") << "\n  {"
             << "\"rule\": \"" << json_escape(f.rule) << "\", "
             << "\"severity\": \"" << to_string(f.sev) << "\", "
@@ -150,9 +227,10 @@ void report::render_json(std::ostream& out) const {
             << "\"object\": \"" << json_escape(f.object) << "\", "
             << "\"message\": \"" << json_escape(f.message) << "\", "
             << "\"fix_hint\": \"" << json_escape(f.fix_hint) << "\", "
-            << "\"paper_ref\": \"" << json_escape(f.paper_ref) << "\"}";
+            << "\"paper_ref\": \"" << json_escape(f.paper_ref) << "\", "
+            << "\"fingerprint\": \"" << fingerprint(f) << "\"}";
     }
-    out << "\n]\n";
+    out << "\n]}\n";
 }
 
 }  // namespace altis::analyze

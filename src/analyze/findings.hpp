@@ -45,6 +45,12 @@ struct finding {
 [[nodiscard]] finding make_finding(const std::string& id, std::string kernel,
                                    std::string object, std::string message);
 
+/// Stable 64-bit fingerprint (16 lowercase hex chars) over the finding's
+/// identity (rule, kernel, object, message). Hex pointer runs ("0x7f...")
+/// are canonicalized away first, so the fingerprint survives ASLR -- the
+/// SARIF partialFingerprints / baseline contract.
+[[nodiscard]] std::string fingerprint(const finding& f);
+
 /// Ordered, deduplicated collection of findings. Apps run `--passes` times,
 /// so the same hazard recurs identically; add() drops exact repeats.
 class report {
@@ -55,6 +61,9 @@ public:
     [[nodiscard]] const std::vector<finding>& findings() const {
         return findings_;
     }
+    /// Findings sorted by (rule, object, kernel) -- the render order of every
+    /// exporter, byte-stable across runs regardless of discovery order.
+    [[nodiscard]] std::vector<finding> sorted_findings() const;
     [[nodiscard]] bool empty() const { return findings_.empty(); }
     [[nodiscard]] std::size_t size() const { return findings_.size(); }
     /// Number of findings at `s` or above.
@@ -63,7 +72,8 @@ public:
     /// Fixed-width console table (header + one row per finding + hint lines).
     /// Prints "sanitize: no findings" when empty.
     void render_text(std::ostream& out) const;
-    /// JSON array of finding objects (schema in docs/SANITIZER.md).
+    /// JSON object {"findings": [...]} (schema in docs/SANITIZER.md); a clean
+    /// report renders as a valid empty document, never an empty file.
     void render_json(std::ostream& out) const;
 
 private:

@@ -107,6 +107,9 @@ struct node {
     std::vector<pipe_endpoint> pipes;
     perf::kernel_stats stats;
     const perf::device_spec* device = nullptr;
+    /// Shadow-store actor of this kernel submission (-1: none recorded);
+    /// joins the node's declared ranges to its observed accesses (ALS-D1).
+    int actor = -1;
     /// Analytic descriptor recorded by simulate_region (bench path): only
     /// the perf-lint rules apply -- there is no real command order, no
     /// buffers and no pipe identities behind it.

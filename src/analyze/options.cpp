@@ -3,8 +3,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "analyze/sanitize.hpp"
+#include "analyze/sarif.hpp"
 #include "core/option_parser.hpp"
 
 namespace altis::analyze {
@@ -14,6 +16,10 @@ void add_sanitize_options(OptionParser& opts) {
                     "lint the run's command graph: off | warn | error "
                     "(default $ALTIS_SANITIZE)");
     opts.add_option("sanitize-json", "", "write sanitize findings as JSON");
+    opts.add_option("sanitize-sarif", "",
+                    "write sanitize findings as SARIF v2.1.0");
+    opts.add_option("sanitize-baseline", "",
+                    "baseline file: listed fingerprints demote to notes");
 }
 
 options options::from(const OptionParser& opts) {
@@ -31,12 +37,28 @@ options options::from(const OptionParser& opts) {
         throw OptionError("--sanitize: unknown level '" + name +
                           "' (off | warn | error)");
     o.json_path = opts.get_string("sanitize-json");
+    o.sarif_path = opts.get_string("sanitize-sarif");
+    o.baseline_path = opts.get_string("sanitize-baseline");
+    // Asking for an output file means asking for the analysis: run at warn
+    // so a clean tree still yields a valid empty document, not no file.
+    if (o.lv == level::off && (!o.json_path.empty() || !o.sarif_path.empty()))
+        o.lv = level::warn;
     return o;
 }
 
 int finish(const recorder& rec, const options& opt, std::ostream& out,
            std::ostream& err, const span_sink& sink) {
-    const report r = run_all(rec);
+    report r = run_all(rec);
+    if (!opt.baseline_path.empty()) {
+        std::ifstream bf(opt.baseline_path);
+        if (!bf) {
+            err << "error: cannot read " << opt.baseline_path << "\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << bf.rdbuf();
+        r = apply_baseline(r, parse_baseline(text.str()));
+    }
     r.render_text(out);
     if (sink)
         for (const finding& f : r.findings()) sink(f);
@@ -47,6 +69,14 @@ int finish(const recorder& rec, const options& opt, std::ostream& out,
             return 2;
         }
         r.render_json(f);
+    }
+    if (!opt.sarif_path.empty()) {
+        std::ofstream f(opt.sarif_path);
+        if (!f) {
+            err << "error: cannot write " << opt.sarif_path << "\n";
+            return 2;
+        }
+        render_sarif(r, f);
     }
     return opt.lv == level::error && r.count_at_least(severity::warning) > 0
                ? 1

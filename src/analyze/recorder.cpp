@@ -32,7 +32,13 @@ std::atomic<recorder*> g_current{nullptr};
 
 recorder* recorder::current() { return g_current.load(std::memory_order_acquire); }
 void recorder::set_current(recorder* r) {
-    g_current.store(r, std::memory_order_release);
+    recorder* prev = g_current.exchange(r, std::memory_order_acq_rel);
+    // Publish the new session's shadow store (the hook-side gate), then
+    // settle the outgoing session: finalize flushes every thread's open
+    // run tables so its intervals are complete before any analysis.
+    shadow::detail::set_current_store(r != nullptr ? r->shadow_.get()
+                                                   : nullptr);
+    if (prev != nullptr && prev != r) prev->shadow_->finalize();
 }
 
 int recorder::register_queue(const perf::device_spec& /*dev*/) {
@@ -45,7 +51,9 @@ recorder::cg_handle recorder::begin_command_group() {
     cg_handle h;
     h.id = next_cg_++;
     h.token = probe::new_token(h.id);
+    h.actor = shadow_->new_actor();
     live_tokens_.emplace(h.id, h.token);
+    cg_actor_.emplace(h.id, h.actor);
     return h;
 }
 
@@ -62,14 +70,37 @@ int recorder::begin_group() {
     return next_group_++;
 }
 
+void recorder::end_group(int group, int queue) {
+    std::lock_guard lock(mu_);
+    const auto it = group_members_.find(group);
+    shadow_->on_group_end(queue, it != group_members_.end()
+                                     ? it->second
+                                     : std::vector<int>{});
+}
+
 void recorder::add_node(node n) {
     std::lock_guard lock(mu_);
     if (n.kind == node_kind::kernel && n.cg != 0)
         cg_kernel_[n.cg] = n.kernel;
+    if (!n.simulated) {
+        // Declared ranges anchor the stable "mem#N" labels findings use.
+        for (const mem_access& a : n.accesses)
+            shadow_->register_region(a.base, a.bytes);
+        if (n.kind == node_kind::kernel && n.cg != 0) {
+            const auto it = cg_actor_.find(n.cg);
+            if (it != cg_actor_.end()) {
+                n.actor = it->second;
+                shadow_->name_actor(n.actor, n.kernel);
+                shadow_->on_submit(n.actor, n.queue, n.group >= 0);
+                if (n.group >= 0) group_members_[n.group].push_back(n.actor);
+            }
+        }
+    }
     graph_.nodes.push_back(std::move(n));
 }
 
 void recorder::record_wait(int queue) {
+    shadow_->on_wait(queue);
     node n;
     n.kind = node_kind::wait;
     n.queue = queue;
@@ -78,6 +109,7 @@ void recorder::record_wait(int queue) {
 
 void recorder::record_transfer(int queue, node_kind kind, const void* base,
                                std::size_t bytes) {
+    shadow_->on_transfer(base, bytes, kind == node_kind::transfer_in);
     node n;
     n.kind = kind;
     n.queue = queue;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "analyze/findings.hpp"
 #include "analyze/graph.hpp"
 #include "analyze/probe.hpp"
+#include "analyze/shadow.hpp"
 
 namespace altis::analyze {
 
@@ -26,7 +28,8 @@ enum class level { off, warn, error };
 
 class recorder {
 public:
-    explicit recorder(level lv = level::warn) : level_(lv) {}
+    explicit recorder(level lv = level::warn)
+        : level_(lv), shadow_(std::make_unique<shadow::store>()) {}
 
     [[nodiscard]] level enforcement() const { return level_; }
 
@@ -39,6 +42,9 @@ public:
     struct cg_handle {
         std::uint64_t id = 0;
         probe::cg_token* token = nullptr;
+        /// Shadow actor of the submission; the queue binds it around kernel
+        /// execution so observed accesses attribute to this kernel.
+        int actor = -1;
     };
     /// Opens a command group: assigns the next id and a live lifetime token
     /// for the accessors the group hands out.
@@ -48,6 +54,9 @@ public:
 
     /// Opens a dataflow group; members record the returned id.
     int begin_group();
+    /// Dataflow group joined (worker threads drained): closes the group's
+    /// happens-before edges in the shadow store.
+    void end_group(int group, int queue);
 
     void add_node(node n);
     void record_wait(int queue);
@@ -72,6 +81,8 @@ public:
     [[nodiscard]] std::vector<node> group_nodes(int group) const;
     /// Findings raised during capture (merged into the final report).
     [[nodiscard]] const report& runtime_findings() const { return runtime_; }
+    /// Observed-access shadow store of this session (ALS-R*/ALS-D1 input).
+    [[nodiscard]] shadow::store& shadow() const { return *shadow_; }
 
     // ---- process-wide current recorder ----
     [[nodiscard]] static recorder* current();
@@ -96,8 +107,11 @@ private:
     int next_queue_ = 0;
     int next_group_ = 0;
     std::uint64_t next_cg_ = 1;
+    std::unique_ptr<shadow::store> shadow_;
     std::unordered_map<std::uint64_t, probe::cg_token*> live_tokens_;
     std::unordered_map<std::uint64_t, std::string> cg_kernel_;
+    std::unordered_map<std::uint64_t, int> cg_actor_;
+    std::unordered_map<int, std::vector<int>> group_members_;
     /// (cg, base) pairs already reported by the probe (dedup).
     std::vector<std::pair<std::uint64_t, const void*>> stale_reported_;
 };

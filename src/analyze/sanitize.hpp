@@ -10,6 +10,7 @@
 #include "analyze/hazard.hpp"
 #include "analyze/perf_lint.hpp"
 #include "analyze/pipes.hpp"
+#include "analyze/race.hpp"
 #include "analyze/recorder.hpp"
 
 namespace altis::analyze {
@@ -31,10 +32,13 @@ public:
     return r;
 }
 
-/// Static passes plus the findings captured at runtime (ALS-H3 probe hits,
+/// Static passes plus the HB-precise race passes over the observed-access
+/// shadow store, plus the findings captured at runtime (ALS-H3 probe hits,
 /// pre-launch gate reports).
 [[nodiscard]] inline report run_all(const recorder& rec) {
     report r = run_all(rec.graph());
+    rec.shadow().finalize();
+    lint_races(rec.shadow(), rec.graph(), r);
     r.merge(rec.runtime_findings());
     return r;
 }

@@ -1,0 +1,34 @@
+// SARIF v2.1.0 exporter + baseline/suppression support, so altis_lint plugs
+// into GitHub code scanning (--sanitize-sarif / --sanitize-baseline).
+//
+// Every result carries a stable partialFingerprints entry
+// ("altisSanitizeFingerprint/v1", from analyze::fingerprint): pointer-free,
+// so two runs of the same binary emit byte-identical fingerprints under
+// ASLR. A baseline file is any JSON document containing those fingerprint
+// strings (the parser is shape-tolerant -- a saved SARIF run works as-is):
+// findings whose fingerprint appears in the baseline are demoted to notes,
+// and baseline entries matching no current finding come back as ALS-B1
+// stale-entry notes so suppressions cannot silently outlive their bugs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyze/findings.hpp"
+
+namespace altis::analyze {
+
+/// Renders the report as one SARIF v2.1.0 run (sorted like render_json).
+void render_sarif(const report& r, std::ostream& out);
+
+/// Extracts every fingerprint-shaped string (16 lowercase hex chars) from a
+/// baseline file's text. Tolerant of the surrounding JSON shape.
+[[nodiscard]] std::vector<std::string> parse_baseline(const std::string& text);
+
+/// Applies a baseline: findings whose fingerprint is listed are demoted to
+/// severity::note; fingerprints matching nothing become ALS-B1 notes.
+[[nodiscard]] report apply_baseline(const report& r,
+                                    const std::vector<std::string>& baseline);
+
+}  // namespace altis::analyze

@@ -259,7 +259,15 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
         });
     });
     q.submit([&](sl::handler& h) {  // resetAccFin
-        auto ctr = h.get_access(centers, sl::access_mode::read_write);
+        // Separate read and write accessors instead of one read_write: the
+        // kernel only *reads* centers once up front and only *writes* them
+        // once at the very end. Declaring that precisely lets the race
+        // engine prove the feedback cycle safe -- the final write is
+        // happens-after mapCenters' initial read through the map_pipe
+        // edges, whereas a read_write accessor would make every access
+        // look like a potential store.
+        auto ctr_in = h.get_access(centers, sl::access_mode::read);
+        auto ctr_out = h.get_access(centers, sl::access_mode::write);
         const params cp = p;
         auto* mp = &map_pipe;
         auto* fb = &center_pipe;
@@ -267,7 +275,7 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
         h.writes_pipe(center_pipe, static_cast<double>(p.k * p.d), p.iterations);
         h.single_task(detail::stats_resetaccfin_st(p, dev), [=]() {
             std::vector<float> cur(cp.k * cp.d);
-            for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr[x];
+            for (std::size_t x = 0; x < cp.k * cp.d; ++x) cur[x] = ctr_in[x];
             std::vector<float> sums(cp.k * cp.d);
             std::vector<int> counts(cp.k);
             std::vector<mapping> batch(kBurst);
@@ -294,7 +302,7 @@ void run_dataflow(sl::queue& q, const params& p, sl::buffer<float>& points,
                 }
                 fb->write_burst(cur.data(), cp.k * cp.d);
             }
-            for (std::size_t x = 0; x < cp.k * cp.d; ++x) ctr[x] = cur[x];
+            for (std::size_t x = 0; x < cp.k * cp.d; ++x) ctr_out[x] = cur[x];
         });
     });
     group.join();

@@ -195,6 +195,22 @@ inline counter& buffer_allocs() {
     return c;
 }
 
+// ---- altis::sanitize ------------------------------------------------------
+
+inline counter& sanitize_shadow_intervals() {
+    static counter& c = registry::instance().get_counter(
+        "altis_sanitize_shadow_intervals_total",
+        "Observed-access intervals flushed into the sanitize shadow store");
+    return c;
+}
+
+inline counter& sanitize_race_checks() {
+    static counter& c = registry::instance().get_counter(
+        "altis_sanitize_race_checks_total",
+        "Happens-before queries evaluated by the ALS-R1 race pass");
+    return c;
+}
+
 // ---- altis::fault ---------------------------------------------------------
 
 inline counter& fault_retries() {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analyze/probe.hpp"
+#include "analyze/shadow.hpp"
 #include "fault/inject.hpp"
 #include "metrics/instruments.hpp"
 
@@ -74,7 +75,17 @@ public:
         if (detail::counting_enabled.load(std::memory_order_relaxed) &&
             counter_ != nullptr)
             counter_->accesses.fetch_add(1, std::memory_order_relaxed);
-        if (token_ != nullptr) altis::analyze::probe::accessor_use(token_, ptr_);
+        if (token_ != nullptr) {
+            // Both probes live behind the token: it is only bound while a
+            // sanitize session is active, so the untracked hot path stays
+            // one never-taken branch. operator[] cannot see whether the
+            // caller loads or stores, so the access-mode decides: any
+            // writable mode records a write.
+            altis::analyze::probe::accessor_use(token_, ptr_);
+            altis::analyze::shadow::on_accessor_access(
+                ptr_, i * sizeof(T), sizeof(T),
+                mode_ != access_mode::read);
+        }
         return ptr_[i];
     }
 

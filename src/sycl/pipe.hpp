@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/shadow.hpp"
 #include "fault/inject.hpp"
 #include "metrics/instruments.hpp"
 #include "resilience/cancel.hpp"
@@ -208,6 +209,13 @@ private:
     }
 
     void publish_tail(std::uint64_t pos) {
+        // HB edge for the race engine: snapshot the producer's clock over
+        // items [tail_pos_, pos) *before* the release store makes them
+        // visible, so a consumer that observes the counter always finds a
+        // covering publication. Gated like the metrics below.
+        if (altis::analyze::shadow::tracking())
+            altis::analyze::shadow::on_pipe_publish(this, name_.c_str(),
+                                                    tail_pos_, pos);
         if (altis::metrics::collecting()) {
             namespace mi = altis::metrics::instruments;
             mi::pipe_items().add(pos - tail_pos_);
@@ -235,6 +243,11 @@ private:
     }
 
     void publish_head(std::uint64_t pos) {
+        // Consumer-side HB edge: join the covering publication's snapshot
+        // for items [head_pos_, pos) into the consumer's clock.
+        if (altis::analyze::shadow::tracking())
+            altis::analyze::shadow::on_pipe_consume(this, name_.c_str(),
+                                                    head_pos_, pos);
         head_pos_ = pos;
         head_.store(pos, std::memory_order_release);
         std::atomic_thread_fence(std::memory_order_seq_cst);

@@ -181,7 +181,8 @@ event queue::finish_submit(handler&& h) {
         // whole group is known (see pending_work in the header).
         pending_stats_.push_back(h.stats());
         pending_work_.push_back({pending_work_.size(), h.cg_.id,
-                                 h.stats().name, std::move(h.exec_)});
+                                 h.stats().name, std::move(h.exec_),
+                                 h.cg_.actor});
         return event();  // timestamps assigned at end_dataflow()
     }
 
@@ -191,6 +192,9 @@ event queue::finish_submit(handler&& h) {
         fault::maybe_inject(fault::op_kind::launch, h.stats().name,
                             "kernel launch failed");
         inflight_guard inflight;
+        // Attribute the kernel's observed accesses to its shadow actor
+        // (no-op when no sanitize session assigned one).
+        altis::analyze::shadow::actor_scope actor(h.cg_.actor);
         h.exec_(thread_pool::global());
     } catch (const std::exception& e) {
         // Copy the kernel name into the span label *before* anything can
@@ -252,7 +256,8 @@ void queue::launch_dataflow_workers() {
     for (pending_work& w : pending_work_) {
         pending_threads_.emplace_back(
             [this, index = w.index, cg = w.cg, name = std::move(w.kernel),
-             exec = std::move(w.exec)]() mutable {
+             exec = std::move(w.exec), actor = w.actor]() mutable {
+                altis::analyze::shadow::actor_scope actor_binding(actor);
                 retire_guard retire{recorder_, cg};
                 worker_error we;
                 we.index = index;
@@ -328,11 +333,16 @@ std::vector<event> queue::end_dataflow() {
             throw analyze::sanitize_error(msg);
         }
     }
+    const int joined_group = current_group_;
     current_group_ = -1;
 
     launch_dataflow_workers();
     for (auto& t : pending_threads_) t.join();
     pending_threads_.clear();
+    // The join above is a real synchronization point: close the group's
+    // happens-before edges (members -> queue -> host) in the shadow store.
+    if (recorder_ != nullptr && joined_group >= 0)
+        recorder_->end_group(joined_group, queue_id_);
     if (!worker_errors_.empty()) {
         std::vector<worker_error> errors = std::move(worker_errors_);
         worker_errors_.clear();

@@ -199,6 +199,7 @@ private:
         std::uint64_t cg = 0;  ///< recorder command-group id (0: none)
         std::string kernel;
         detail::small_function<void(thread_pool&)> exec;
+        int actor = -1;  ///< shadow actor bound around execution (-1: none)
     };
 
     event finish_submit(handler&& h);

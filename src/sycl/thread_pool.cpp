@@ -47,6 +47,7 @@ void thread_pool::run_job(job& j) {
     // whole claim-and-execute stretch for every participant, submitting
     // thread included, so the metric is meaningful even on a pool with zero
     // workers.
+    altis::analyze::shadow::actor_scope actor(j.actor);
     const bool metered = altis::metrics::collecting();
     const std::uint64_t t0 = metered ? now_ns() : 0;
     std::uint64_t chunks = 0;
@@ -133,7 +134,8 @@ void thread_pool::parallel_for(std::size_t n,
         }
         return;
     }
-    job j(fn, n, std::max<std::size_t>(1, n / ((workers_.size() + 1) * 8)));
+    job j(fn, n, std::max<std::size_t>(1, n / ((workers_.size() + 1) * 8)),
+          altis::analyze::shadow::current_actor());
     {
         std::lock_guard lock(mutex_);
         jobs_.push_back(&j);

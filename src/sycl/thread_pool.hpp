@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/shadow.hpp"
 #include "sycl/small_function.hpp"
 
 namespace syclite {
@@ -49,12 +50,15 @@ private:
 
     struct job {
         job(detail::function_ref<void(std::size_t)> f, std::size_t count,
-            std::size_t chunk_size)
-            : fn(f), n(count), chunk(chunk_size) {}
+            std::size_t chunk_size, int actor_id)
+            : fn(f), n(count), chunk(chunk_size), actor(actor_id) {}
 
         detail::function_ref<void(std::size_t)> fn;
         std::size_t n;
         std::size_t chunk;
+        /// Shadow actor of the submitting kernel, propagated to every worker
+        /// that claims chunks (-1 outside a sanitize session: no rebinding).
+        int actor;
         /// next and active_workers sit on separate cache lines: next is
         /// hammered by every participant's fetch_add while active_workers
         /// only changes on join/leave, and sharing a line would put that

@@ -20,8 +20,9 @@ TEST(RuleCatalog, IdsAreUniqueAndWellFormed) {
         EXPECT_NE(std::string(r.fix_hint), "");
         EXPECT_NE(std::string(r.paper_ref), "");
     }
-    // The documented rule pack: 4 hazard, 3 pipe, 6 lint rules.
-    EXPECT_EQ(rule_catalog().size(), 13u);
+    // The documented rule pack: 4 hazard, 3 pipe, 6 lint, 3 race-engine
+    // rules plus the baseline bookkeeping rule.
+    EXPECT_EQ(rule_catalog().size(), 17u);
 }
 
 TEST(RuleCatalog, LookupFillsFindings) {
@@ -35,11 +36,12 @@ TEST(RuleCatalog, LookupFillsFindings) {
 
 TEST(RuleCatalog, SeveritiesMatchTheSpec) {
     for (const char* id : {"ALS-H1", "ALS-H2", "ALS-H3", "ALS-H4", "ALS-P1",
-                           "ALS-P2", "ALS-L6"})
+                           "ALS-P2", "ALS-L6", "ALS-R1", "ALS-D1"})
         EXPECT_EQ(rule(id).sev, severity::error) << id;
-    for (const char* id :
-         {"ALS-P3", "ALS-L1", "ALS-L2", "ALS-L3", "ALS-L4", "ALS-L5"})
+    for (const char* id : {"ALS-P3", "ALS-L1", "ALS-L2", "ALS-L3", "ALS-L4",
+                           "ALS-L5", "ALS-R2"})
         EXPECT_EQ(rule(id).sev, severity::warning) << id;
+    EXPECT_EQ(rule("ALS-B1").sev, severity::note);
 }
 
 TEST(Report, DedupsExactRepeats) {
@@ -80,15 +82,40 @@ TEST(Report, JsonRoundTripsThroughStrictParser) {
     r.render_json(out);
 
     const auto doc = mini_json::parse(out.str());
-    ASSERT_EQ(doc.as_array().size(), 2u);
-    const auto& f0 = doc.as_array()[0];
-    EXPECT_EQ(f0.at("rule").as_string(), "ALS-P1");
-    EXPECT_EQ(f0.at("severity").as_string(), "error");
-    EXPECT_EQ(f0.at("object").as_string(), "pipe \"in\"");
+    const auto& findings = doc.at("findings").as_array();
+    ASSERT_EQ(findings.size(), 2u);
+    // Sorted by (rule, object, kernel): ALS-L1 before ALS-P1.
+    const auto& f1 = findings[1];
+    EXPECT_EQ(f1.at("rule").as_string(), "ALS-P1");
+    EXPECT_EQ(f1.at("severity").as_string(), "error");
+    EXPECT_EQ(f1.at("object").as_string(), "pipe \"in\"");
     for (const char* key :
          {"rule", "severity", "kernel", "object", "message", "fix_hint",
-          "paper_ref"})
-        EXPECT_TRUE(f0.has(key)) << key;
+          "paper_ref", "fingerprint"})
+        EXPECT_TRUE(f1.has(key)) << key;
+}
+
+TEST(Report, EmptyJsonIsAValidDocument) {
+    report r;
+    std::ostringstream out;
+    r.render_json(out);
+    const auto doc = mini_json::parse(out.str());
+    EXPECT_EQ(doc.at("findings").as_array().size(), 0u);
+}
+
+TEST(Report, FingerprintsAreStableAndPointerBlind) {
+    const finding a = make_finding("ALS-R1", "k1, k2", "mem#0[0..64)",
+                                   "write/write overlap at 0x7f34a2000010");
+    const finding b = make_finding("ALS-R1", "k1, k2", "mem#0[0..64)",
+                                   "write/write overlap at 0x55d100aa0010");
+    const finding c = make_finding("ALS-R1", "k1, k2", "mem#0[0..32)",
+                                   "write/write overlap at 0x7f34a2000010");
+    EXPECT_EQ(fingerprint(a).size(), 16u);
+    // Raw addresses are canonicalized away: re-running under ASLR must not
+    // change the identity of a finding...
+    EXPECT_EQ(fingerprint(a), fingerprint(b));
+    // ...but any real field difference must.
+    EXPECT_NE(fingerprint(a), fingerprint(c));
 }
 
 TEST(Report, MergeKeepsDedupAcrossReports) {

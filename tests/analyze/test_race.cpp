@@ -1,0 +1,363 @@
+// Seeded race corpus for the happens-before engine: every racy shape must
+// surface its exact ALS-R*/ALS-D1 rule id, every ordered shape must stay
+// silent, and with no session active the shadow hooks must do nothing at
+// all. Racing accesses are *observed* (observe_read/observe_write), never
+// performed, so the corpus itself is clean under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/sanitize.hpp"
+#include "analyze/shadow.hpp"
+#include "apps/common/app.hpp"
+#include "core/registry.hpp"
+#include "core/result_database.hpp"
+#include "sycl/syclite.hpp"
+
+namespace altis::analyze {
+namespace {
+
+perf::kernel_stats named(const char* n) {
+    perf::kernel_stats k;
+    k.name = n;
+    return k;
+}
+
+bool has_rule(const report& r, const std::string& id) {
+    for (const finding& f : r.findings())
+        if (f.rule == id) return true;
+    return false;
+}
+
+std::string render(const report& r) {
+    std::ostringstream os;
+    r.render_text(os);
+    return os.str();
+}
+
+// ---- ALS-R1: unordered overlapping accesses -------------------------------
+
+TEST(Races, R1FiresOnConcurrentUnorderedWrites) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> shared(16);
+        int* p = shared.host_data();
+        syclite::dataflow_guard g(q);
+        // Two concurrent kernels, no pipe between them: their observed
+        // writes to the same bytes have no happens-before edge either way.
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(shared, syclite::access_mode::write);
+            (void)a;
+            h.single_task(named("writer_a"), [p] {
+                shadow::observe_write(p, 16 * sizeof(int));
+            });
+        });
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(shared, syclite::access_mode::write);
+            (void)a;
+            h.single_task(named("writer_b"), [p] {
+                shadow::observe_write(p, 16 * sizeof(int));
+            });
+        });
+        (void)g.join();
+    }
+    const report r = run_all(rec);
+    ASSERT_TRUE(has_rule(r, "ALS-R1")) << render(r);
+    for (const finding& f : r.findings()) {
+        if (f.rule != "ALS-R1") continue;
+        EXPECT_EQ(f.kernel, "writer_a, writer_b");
+        // Labels are region-relative, never raw pointers.
+        EXPECT_EQ(f.object.rfind("mem#", 0), 0u) << f.object;
+    }
+}
+
+TEST(Races, R1SilentWhenAPipeOrdersTheAccesses) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> shared(16);
+        int* p = shared.host_data();
+        syclite::pipe<int> ch(8, "order");
+        syclite::dataflow_guard g(q);
+        // Same overlap, but the consumer only touches the bytes after
+        // receiving the token the producer sent *after* writing them: the
+        // pipe edge orders the pair (the Fig. 3 feedback pattern).
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(shared, syclite::access_mode::write);
+            (void)a;
+            h.writes_pipe(ch, 1.0, 1.0);
+            h.single_task(named("producer"), [p, &ch] {
+                shadow::observe_write(p, 16 * sizeof(int));
+                ch.write(1);
+            });
+        });
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(shared, syclite::access_mode::read);
+            (void)a;
+            h.reads_pipe(ch, 1.0, 1.0);
+            h.single_task(named("consumer"), [p, &ch] {
+                (void)ch.read();
+                shadow::observe_read(p, 16 * sizeof(int));
+            });
+        });
+        (void)g.join();
+    }
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R1")) << render(r);
+}
+
+TEST(Races, R1SilentAcrossSequentialSubmissions) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> buf(16);
+        for (int k = 0; k < 2; ++k) {
+            q.submit([&](syclite::handler& h) {
+                auto a =
+                    h.get_access(buf, syclite::access_mode::read_write);
+                h.single_task(named(k == 0 ? "first" : "second"), [a] {
+                    for (std::size_t i = 0; i < 16; ++i) a[i] = 1;
+                });
+            });
+        }
+        q.wait();
+    }
+    // An in-order queue chains each submission's clock into the next: real
+    // element writes through the accessor, same bytes, still ordered.
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R1")) << render(r);
+    EXPECT_FALSE(has_rule(r, "ALS-D1")) << render(r);
+}
+
+TEST(Races, R1FiresOnHostCopyRacingADeviceWrite) {
+    recorder rec;
+    std::vector<int> host(16, 0);
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> buf(16);
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(buf, syclite::access_mode::write);
+            h.single_task(named("dirtier"), [a] {
+                for (std::size_t i = 0; i < 16; ++i) a[i] = 7;
+            });
+        });
+        q.copy_from_device(buf, host.data());  // missing q.wait()
+    }
+    EXPECT_TRUE(has_rule(run_all(rec), "ALS-R1"));
+}
+
+TEST(Races, R1SilentWhenTheHostWaitsBeforeCopying) {
+    recorder rec;
+    std::vector<int> host(16, 0);
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> buf(16);
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(buf, syclite::access_mode::write);
+            h.single_task(named("dirtier"), [a] {
+                for (std::size_t i = 0; i < 16; ++i) a[i] = 7;
+            });
+        });
+        q.wait();
+        q.copy_from_device(buf, host.data());
+    }
+    EXPECT_FALSE(has_rule(run_all(rec), "ALS-R1"));
+}
+
+TEST(Races, R1SilentAfterADataflowGroupJoin) {
+    recorder rec;
+    std::vector<int> host(16, 0);
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> buf(16);
+        {
+            syclite::dataflow_guard g(q);
+            q.submit([&](syclite::handler& h) {
+                auto a = h.get_access(buf, syclite::access_mode::write);
+                h.single_task(named("grouped"), [a] {
+                    for (std::size_t i = 0; i < 16; ++i) a[i] = 3;
+                });
+            });
+            (void)g.join();
+        }
+        // end_dataflow() joined the worker thread: no wait() needed.
+        q.copy_from_device(buf, host.data());
+    }
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R1")) << render(r);
+}
+
+// ---- ALS-R2: round-skewed pipe receives -----------------------------------
+
+void run_skew(recorder& rec, std::size_t first_burst, std::size_t second_burst) {
+    recorder::scope scope(rec);
+    syclite::queue q("xeon_6128");
+    syclite::pipe<int> ch(8, "skew");
+    syclite::dataflow_guard g(q);
+    q.submit([&](syclite::handler& h) {
+        h.writes_pipe(ch, 4.0, 2.0);  // 4 items per round, 2 rounds
+        h.single_task(named("skew_producer"), [&ch] {
+            const int items[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+            ch.write_burst(items, 4);
+            ch.write_burst(items + 4, 4);
+        });
+    });
+    q.submit([&](syclite::handler& h) {
+        h.reads_pipe(ch, 4.0, 2.0);
+        h.single_task(named("skew_consumer"), [&ch, first_burst,
+                                               second_burst] {
+            int sink[8] = {};
+            ch.read_burst(sink, first_burst);
+            ch.read_burst(sink, second_burst);
+        });
+    });
+    (void)g.join();
+}
+
+TEST(Races, R2FiresOnARoundStraddlingReceive) {
+    recorder rec;
+    // Reads of 3 then 5: the second receive covers items [3, 8), mixing the
+    // tail of round 0 with all of round 1.
+    run_skew(rec, 3, 5);
+    const report r = run_all(rec);
+    ASSERT_TRUE(has_rule(r, "ALS-R2")) << render(r);
+    for (const finding& f : r.findings()) {
+        if (f.rule != "ALS-R2") continue;
+        EXPECT_EQ(f.kernel, "skew_consumer");
+        EXPECT_EQ(f.object, "skew");
+    }
+}
+
+TEST(Races, R2SilentWhenBurstsAlignWithRounds) {
+    recorder rec;
+    run_skew(rec, 4, 4);
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R2")) << render(r);
+}
+
+// ---- ALS-D1: declaration drift --------------------------------------------
+
+TEST(Races, D1FiresOnAnAccessOutsideEveryDeclaredRange) {
+    static int undeclared[16];
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        syclite::buffer<int> buf(16);
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(buf, syclite::access_mode::write);
+            h.single_task(named("drifter"), [a] {
+                a[0] = 1;  // declared: fine
+                shadow::observe_write(undeclared, sizeof(undeclared));
+            });
+        });
+        q.wait();
+    }
+    const report r = run_all(rec);
+    ASSERT_TRUE(has_rule(r, "ALS-D1")) << render(r);
+    for (const finding& f : r.findings()) {
+        if (f.rule == "ALS-D1") EXPECT_EQ(f.kernel, "drifter");
+    }
+}
+
+TEST(Races, D1SilentWhenUsmIsDeclared) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128");
+        int* p = syclite::malloc_shared<int>(16, q);
+        ASSERT_NE(p, nullptr);
+        q.submit([&](syclite::handler& h) {
+            h.uses_usm(p, 16 * sizeof(int), syclite::access_mode::read_write);
+            h.single_task(named("usm_user"), [p] {
+                shadow::observe_write(p, 16 * sizeof(int));
+            });
+        });
+        q.wait();
+        syclite::usm_free(p, q);
+    }
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-D1")) << render(r);
+}
+
+// ---- Fig. 3: the kmeans center-feedback cycle is proven safe --------------
+
+TEST(Races, KmeansDataflowFeedbackIsRaceFree) {
+    apps::register_all_apps();
+    const AppInfo* app = Registry::instance().find("kmeans");
+    ASSERT_NE(app, nullptr);
+    RunConfig cfg;
+    cfg.size = 1;
+    cfg.passes = 1;
+    cfg.variant = Variant::fpga_opt;
+    cfg.device = "stratix_10";
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        ResultDatabase db;
+        ASSERT_NO_THROW(app->run(cfg, db));
+    }
+    // mapCenters reads the centers buffer that resetAccFin rewrites each
+    // iteration; the pipe edges order every such pair (paper Fig. 3), and
+    // the engine must prove it rather than assume it.
+    const report r = run_all(rec);
+    EXPECT_TRUE(r.empty()) << render(r);
+    // The proof rests on observed accesses actually being captured.
+    EXPECT_GT(rec.shadow().interval_count(), 0u);
+}
+
+// ---- zero-overhead contract -----------------------------------------------
+
+TEST(Races, ShadowHooksAreInertWithoutASession) {
+    ASSERT_EQ(recorder::current(), nullptr);
+    EXPECT_FALSE(shadow::tracking());
+    const std::uint64_t before =
+        shadow::detail::g_intervals_flushed.load(std::memory_order_relaxed);
+    syclite::queue q("xeon_6128");
+    syclite::buffer<int> buf(256);
+    q.submit([&](syclite::handler& h) {
+        auto a = h.get_access(buf, syclite::access_mode::read_write);
+        h.single_task(named("untracked"), [a] {
+            for (std::size_t i = 0; i < 256; ++i) a[i] = static_cast<int>(i);
+            shadow::observe_write(a.get_pointer(), 256 * sizeof(int));
+        });
+    });
+    q.wait();
+    // No session: not one interval may have been logged anywhere, no matter
+    // how many accessor elements were dereferenced.
+    EXPECT_EQ(shadow::detail::g_intervals_flushed.load(
+                  std::memory_order_relaxed),
+              before);
+}
+
+// ---- determinism ----------------------------------------------------------
+
+TEST(Races, FindingsAndJsonAreByteStableAcrossRuns) {
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        recorder rec;
+        run_skew(rec, 3, 5);
+        const report r = run_all(rec);
+        std::ostringstream os;
+        r.render_json(os);
+        if (run == 0) {
+            first = os.str();
+            EXPECT_NE(first.find("ALS-R2"), std::string::npos);
+        } else {
+            EXPECT_EQ(first, os.str());
+        }
+    }
+}
+
+}  // namespace
+}  // namespace altis::analyze
