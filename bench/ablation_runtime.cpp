@@ -9,6 +9,9 @@
 // recorded point of the runtime's perf trajectory (docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -17,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "mem/pool.hpp"
 #include "metrics/export.hpp"
 #include "metrics/session.hpp"
 #include "sycl/syclite.hpp"
@@ -203,6 +207,76 @@ void BM_ConcurrentPoolJobs(benchmark::State& state) {
                             static_cast<long>(kPerJob));
 }
 BENCHMARK(BM_ConcurrentPoolJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---- altis::mem (docs/PERFORMANCE.md "Memory subsystem") ----
+
+/// Allocation churn, the sweep-loop shape: allocate, touch every page, free,
+/// repeat with the same size. The pool serves repeats from its magazine /
+/// reuse cache on warm pages; the `system` backend replays the pre-pool
+/// behaviour (::operator new(align_val_t{64}) per request), which above the
+/// malloc mmap threshold also re-faults every page per iteration.
+void alloc_churn(benchmark::State& state, altis::mem::backend b) {
+    const auto prev = altis::mem::current_backend();
+    altis::mem::set_backend(b);
+    const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        void* p = altis::mem::allocate(bytes);
+        auto* c = static_cast<char*>(p);
+        for (std::size_t off = 0; off < bytes; off += 4096) c[off] = 1;
+        benchmark::DoNotOptimize(c);
+        altis::mem::deallocate(p);
+    }
+    altis::mem::set_backend(prev);
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(bytes));
+}
+
+void BM_AllocChurnPool(benchmark::State& state) {
+    alloc_churn(state, altis::mem::backend::pooled);
+}
+BENCHMARK(BM_AllocChurnPool)
+    ->Arg(256)->Arg(64 << 10)->Arg(1 << 20)->Arg(64 << 20);
+
+void BM_AllocChurnSystem(benchmark::State& state) {
+    alloc_churn(state, altis::mem::backend::system);
+}
+BENCHMARK(BM_AllocChurnSystem)
+    ->Arg(256)->Arg(64 << 10)->Arg(1 << 20)->Arg(64 << 20);
+
+/// Host->device upload of range(0) floats, the cudaMemcpy H2D shape. The
+/// fast path pairs a recycled no_init buffer with mem::copy_bytes: one
+/// memcpy into warm pages.
+void BM_TransferUpload(benchmark::State& state) {
+    queue q("xeon_6128");
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> src(n, 1.5f);
+    for (auto _ : state) {
+        buffer<float> dev(n, no_init);
+        q.copy_to_device(dev, src.data());
+        benchmark::DoNotOptimize(dev.host_data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_TransferUpload)->Arg(1 << 22)->Arg(16 << 20);
+
+/// The same upload as the runtime performed it before the memory subsystem:
+/// a fresh std::vector (whose value-initialization writes every byte once
+/// before the copy overwrites it) filled element-wise with std::copy.
+void BM_TransferUploadLegacy(benchmark::State& state) {
+    queue q("xeon_6128");
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const std::vector<float> src(n, 1.5f);
+    for (auto _ : state) {
+        std::vector<float> dev(n);
+        q.annotate_transfer(static_cast<double>(n * sizeof(float)));
+        std::copy(src.begin(), src.end(), dev.begin());
+        benchmark::DoNotOptimize(dev.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n * sizeof(float)));
+}
+BENCHMARK(BM_TransferUploadLegacy)->Arg(1 << 22)->Arg(16 << 20);
 
 }  // namespace
 

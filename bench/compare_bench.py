@@ -10,7 +10,9 @@ snapshot, see docs/OBSERVABILITY.md). The gate:
   * fails (exit 1) when any *gated* benchmark's real_time regressed by more
     than --threshold relative to the baseline. Gated benchmarks are the
     dispatch and pipe paths (BM_ParallelFor*, BM_PipeThroughput*) -- the two
-    the paper's dataflow designs lean on hardest;
+    the paper's dataflow designs lean on hardest -- plus the memory
+    subsystem's alloc-churn and transfer paths (BM_AllocChurn*,
+    BM_Transfer*, docs/PERFORMANCE.md "Memory subsystem");
   * reports every other benchmark's delta informationally;
   * diffs the embedded engine telemetry (counters only: pool jobs, pipe
     parks, ...) informationally, so a timing regression arrives with the
@@ -23,7 +25,8 @@ import argparse
 import json
 import sys
 
-GATED_PREFIXES = ("BM_ParallelFor", "BM_PipeThroughput")
+GATED_PREFIXES = ("BM_ParallelFor", "BM_PipeThroughput", "BM_AllocChurn",
+                  "BM_Transfer")
 
 
 def load_report(path):

@@ -46,6 +46,11 @@ struct mem_access {
     std::size_t bytes = 0;
     access mode = access::read_write;
     mem_kind kind = mem_kind::buffer;
+    /// Allocator generation of `base` at record time (usm_alloc/usm_free
+    /// nodes; 0 when unknown). The altis::mem pool recycles addresses, so
+    /// the generation is what keeps two logical allocations at the same
+    /// base from collapsing onto one finding fingerprint.
+    std::uint64_t generation = 0;
 
     [[nodiscard]] bool overlaps(const mem_access& o) const {
         const auto* a = static_cast<const char*>(base);

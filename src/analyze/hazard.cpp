@@ -1,6 +1,7 @@
 #include "analyze/hazard.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
@@ -122,6 +123,7 @@ void lint_usm(const command_graph& g, report& out) {
     struct region {
         const char* base;
         std::size_t bytes;
+        std::uint64_t generation;  ///< allocator generation (0: untagged)
     };
     std::vector<region> live;
     std::vector<region> freed;
@@ -134,21 +136,29 @@ void lint_usm(const command_graph& g, report& out) {
         const auto* p = static_cast<const char*>(a.base);
         return p < r.base + r.bytes && r.base < p + a.bytes;
     };
+    // The pool recycles addresses, so a bare `0x...` object label could
+    // alias two logical allocations onto one finding fingerprint (pointers
+    // canonicalize to `0x?`; the `#g<N>` suffix is not hex and survives).
+    const auto gen_tag = [](std::uint64_t generation) {
+        return generation == 0 ? std::string()
+                               : "#g" + std::to_string(generation);
+    };
 
     for (const node& n : g.nodes) {
         if (n.simulated) continue;
         if (n.kind == node_kind::usm_alloc) {
             const mem_access& a = n.accesses.front();
-            live.push_back({static_cast<const char*>(a.base), a.bytes});
+            live.push_back(
+                {static_cast<const char*>(a.base), a.bytes, a.generation});
             // A reused address shadows any older freed record.
             std::erase_if(freed, [&](const region& r) {
                 return r.base == a.base;
             });
         } else if (n.kind == node_kind::usm_free) {
-            const void* base = n.accesses.front().base;
+            const mem_access& a = n.accesses.front();
             bool found = false;
             for (std::size_t i = 0; i < live.size(); ++i)
-                if (live[i].base == base) {
+                if (live[i].base == a.base) {
                     freed.push_back(live[i]);
                     live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
                     found = true;
@@ -156,8 +166,9 @@ void lint_usm(const command_graph& g, report& out) {
                 }
             if (!found) {
                 std::ostringstream os;
-                os << base;
-                out.add(make_finding("ALS-H4", "usm_free", os.str(),
+                os << a.base;
+                out.add(make_finding("ALS-H4", "usm_free",
+                                     os.str() + gen_tag(a.generation),
                                      "free of a pointer that is not a live "
                                      "USM allocation (double free?)"));
             }
@@ -168,11 +179,15 @@ void lint_usm(const command_graph& g, report& out) {
                 for (const region& r : live)
                     if (contains(r, a)) ok = true;
                 if (ok) continue;
+                std::uint64_t freed_gen = 0;
                 bool after_free = false;
                 for (const region& r : freed)
-                    if (touches(r, a)) after_free = true;
+                    if (touches(r, a)) {
+                        after_free = true;
+                        freed_gen = r.generation;
+                    }
                 out.add(make_finding(
-                    "ALS-H4", n.kernel, range_str(a),
+                    "ALS-H4", n.kernel, range_str(a) + gen_tag(freed_gen),
                     after_free
                         ? "kernel uses a USM range that was already freed"
                         : "kernel uses a USM range with no live allocation"));

@@ -120,17 +120,19 @@ void recorder::record_transfer(int queue, node_kind kind, const void* base,
     add_node(std::move(n));
 }
 
-void recorder::record_usm_alloc(const void* base, std::size_t bytes) {
+void recorder::record_usm_alloc(const void* base, std::size_t bytes,
+                                std::uint64_t generation) {
     node n;
     n.kind = node_kind::usm_alloc;
-    n.accesses.push_back({base, bytes, access::write, mem_kind::usm});
+    n.accesses.push_back(
+        {base, bytes, access::write, mem_kind::usm, generation});
     add_node(std::move(n));
 }
 
-void recorder::record_usm_free(const void* base) {
+void recorder::record_usm_free(const void* base, std::uint64_t generation) {
     node n;
     n.kind = node_kind::usm_free;
-    n.accesses.push_back({base, 0, access::write, mem_kind::usm});
+    n.accesses.push_back({base, 0, access::write, mem_kind::usm, generation});
     add_node(std::move(n));
 }
 

@@ -62,8 +62,9 @@ public:
     void record_wait(int queue);
     void record_transfer(int queue, node_kind kind, const void* base,
                          std::size_t bytes);
-    void record_usm_alloc(const void* base, std::size_t bytes);
-    void record_usm_free(const void* base);
+    void record_usm_alloc(const void* base, std::size_t bytes,
+                          std::uint64_t generation = 0);
+    void record_usm_free(const void* base, std::uint64_t generation = 0);
     /// Analytic descriptor from simulate_region: perf-lint rules only.
     void record_simulated_kernel(const perf::kernel_stats& stats,
                                  const perf::device_spec& dev);

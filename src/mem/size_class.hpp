@@ -1,0 +1,69 @@
+// Size-class table for the altis::mem pool (docs/PERFORMANCE.md "Memory
+// subsystem"). Small allocations are quantized to 22 classes -- 64-byte
+// steps up to 1 KiB, then powers of two up to 64 KiB -- so thread magazines
+// and central free lists stay small arrays indexed by class. Everything
+// larger is a "large object": rounded to the next power of two (min 128 KiB)
+// and recycled through the reuse cache instead of the slab path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace altis::mem {
+
+/// Every payload the subsystem hands out is 64-byte aligned -- the alignment
+/// the syclite USM allocator always requested from ::operator new.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Largest small-class payload; above this the large-object path applies.
+inline constexpr std::size_t kSmallMax = 64 * 1024;
+
+inline constexpr unsigned kLinearClasses = 16;  ///< 64, 128, ..., 1024
+inline constexpr unsigned kSmallClasses = 22;   ///< + 2K, 4K, ..., 64K
+
+/// Payload bytes of small class `idx` (0-based).
+[[nodiscard]] constexpr std::size_t class_size(unsigned idx) {
+    return idx < kLinearClasses
+               ? (std::size_t{idx} + 1) * kAlignment
+               : std::size_t{1024} << (idx - kLinearClasses + 1);
+}
+
+/// Smallest small class whose payload holds `bytes`. Only valid for
+/// bytes <= kSmallMax; zero-byte requests land in class 0 (a 64-byte block),
+/// which is what gives zero-count USM allocations a unique, freeable
+/// address.
+[[nodiscard]] constexpr unsigned size_to_class(std::size_t bytes) {
+    if (bytes <= kAlignment) return 0;
+    if (bytes <= 1024)
+        return static_cast<unsigned>((bytes + kAlignment - 1) / kAlignment) -
+               1;
+    unsigned idx = kLinearClasses;
+    std::size_t fit = 2048;
+    while (fit < bytes) {
+        fit <<= 1;
+        ++idx;
+    }
+    return idx;
+}
+
+/// Large classes are powers of two starting at 128 KiB (2^17); the index is
+/// the exponent offset. 40 classes cover up to 2^56 bytes -- far beyond any
+/// allocation the host could satisfy.
+inline constexpr unsigned kLargeShift = 17;
+inline constexpr unsigned kLargeClasses = 40;
+
+[[nodiscard]] constexpr unsigned large_class(std::size_t bytes) {
+    unsigned idx = 0;
+    std::size_t fit = std::size_t{1} << kLargeShift;
+    while (fit < bytes) {
+        fit <<= 1;
+        ++idx;
+    }
+    return idx;
+}
+
+[[nodiscard]] constexpr std::size_t large_class_size(unsigned idx) {
+    return std::size_t{1} << (kLargeShift + idx);
+}
+
+}  // namespace altis::mem

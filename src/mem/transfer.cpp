@@ -1,0 +1,77 @@
+#include "mem/transfer.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "metrics/instruments.hpp"
+
+namespace altis::mem {
+
+namespace {
+
+std::atomic<parallel_runner> g_runner{nullptr};  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+/// Chunk granularity: big enough that per-chunk scheduling cost is noise
+/// against the memcpy, small enough that a 64 MiB copy still spreads across
+/// every worker.
+constexpr std::size_t kChunkBytes = std::size_t{2} * 1024 * 1024;
+
+[[nodiscard]] std::size_t threshold_from_env() {
+    const char* v = std::getenv("ALTIS_MEM_PCOPY_MIN");
+    if (v != nullptr) {
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(v, &end, 10);
+        if (end != v && *end == '\0') return static_cast<std::size_t>(n);
+    }
+    return std::size_t{4} * 1024 * 1024;
+}
+
+struct copy_job {
+    char* dst;
+    const char* src;
+    std::size_t bytes;
+};
+
+void copy_chunk(void* ctx, std::size_t i) {
+    const auto* job = static_cast<const copy_job*>(ctx);
+    const std::size_t off = i * kChunkBytes;
+    const std::size_t len =
+        off + kChunkBytes > job->bytes ? job->bytes - off : kChunkBytes;
+    std::memcpy(job->dst + off, job->src + off, len);
+}
+
+}  // namespace
+
+void set_parallel_runner(parallel_runner r) {
+    g_runner.store(r, std::memory_order_release);
+}
+
+parallel_runner parallel_runner_installed() {
+    return g_runner.load(std::memory_order_acquire);
+}
+
+std::size_t parallel_copy_threshold() {
+    static const std::size_t threshold = threshold_from_env();
+    return threshold;
+}
+
+void copy_bytes(void* dst, const void* src, std::size_t bytes) {
+    if (bytes == 0) return;
+    const parallel_runner run = g_runner.load(std::memory_order_acquire);
+    if (run == nullptr || bytes < parallel_copy_threshold()) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    copy_job job{static_cast<char*>(dst), static_cast<const char*>(src),
+                 bytes};
+    const std::size_t chunks = (bytes + kChunkBytes - 1) / kChunkBytes;
+    run(chunks, &copy_chunk, &job);
+    if (altis::metrics::collecting()) {
+        namespace mi = altis::metrics::instruments;
+        mi::mem_parallel_copies().add();
+        mi::mem_parallel_copy_bytes().add(bytes);
+    }
+}
+
+}  // namespace altis::mem

@@ -195,6 +195,60 @@ inline counter& buffer_allocs() {
     return c;
 }
 
+// ---- altis::mem -----------------------------------------------------------
+
+inline counter& mem_pool_hits() {
+    static counter& c = registry::instance().get_counter(
+        "altis_mem_pool_hits_total",
+        "Allocations served from a pool cache (thread magazine, central free "
+        "list or large-object reuse cache)");
+    return c;
+}
+
+inline counter& mem_pool_misses() {
+    static counter& c = registry::instance().get_counter(
+        "altis_mem_pool_misses_total",
+        "Allocations that needed fresh OS memory (slab carve or large "
+        "object)");
+    return c;
+}
+
+inline counter& mem_recycled_bytes() {
+    static counter& c = registry::instance().get_counter(
+        "altis_mem_recycled_bytes_total",
+        "Payload bytes served from pool caches instead of the OS");
+    return c;
+}
+
+inline gauge& mem_magazine_blocks() {
+    static gauge& g = registry::instance().get_gauge(
+        "altis_mem_magazine_blocks",
+        "Blocks currently cached in per-thread magazines (re-seeded from "
+        "the pool at session start)");
+    return g;
+}
+
+inline gauge& mem_reuse_cache_bytes() {
+    static gauge& g = registry::instance().get_gauge(
+        "altis_mem_reuse_cache_bytes",
+        "Bytes currently parked in the large-object reuse cache");
+    return g;
+}
+
+inline counter& mem_parallel_copies() {
+    static counter& c = registry::instance().get_counter(
+        "altis_mem_parallel_copies_total",
+        "Transfers that took the chunked parallel-memcpy fast path");
+    return c;
+}
+
+inline counter& mem_parallel_copy_bytes() {
+    static counter& c = registry::instance().get_counter(
+        "altis_mem_parallel_copy_bytes_total",
+        "Bytes moved by the parallel-memcpy fast path");
+    return c;
+}
+
 // ---- altis::sanitize ------------------------------------------------------
 
 inline counter& sanitize_shadow_intervals() {

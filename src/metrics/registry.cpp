@@ -120,15 +120,24 @@ std::vector<instrument_info> registry::instruments() const {
 }
 
 void registry::reset_all() {
+    std::vector<std::function<void()>> hooks;
     {
         std::lock_guard lock(mutex_);
         for (counter& c : counters_) c.reset();
         for (gauge& g : gauges_) g.reset();
         for (watermark& w : watermarks_) w.reset();
         for (histogram& h : histograms_) h.reset();
+        hooks = reset_hooks_;
     }
     alloc_ledger::instance().clear();
     detail::g_epoch.fetch_add(1, std::memory_order_relaxed);
+    // Outside the lock: hooks call get_gauge() to re-seed levels.
+    for (const auto& fn : hooks) fn();
+}
+
+void registry::add_reset_hook(std::function<void()> fn) {
+    std::lock_guard lock(mutex_);
+    reset_hooks_.push_back(std::move(fn));
 }
 
 }  // namespace altis::metrics

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -62,7 +63,14 @@ public:
 
     /// Zero every registered instrument (session start: one process may host
     /// several sessions in sequence and each reports its own interval).
+    /// Reset hooks run afterwards, outside the registry lock.
     void reset_all();
+
+    /// Registers fn to run at the end of every reset_all(). Subsystems whose
+    /// backing state outlives a session (the altis::mem pool caches) re-seed
+    /// their level gauges here, so a session starting mid-process observes
+    /// the true resident level instead of draining it negative.
+    void add_reset_hook(std::function<void()> fn);
 
 private:
     registry() = default;
@@ -76,6 +84,7 @@ private:
                                             const label_set& labels);
 
     mutable std::mutex mutex_;
+    std::vector<std::function<void()>> reset_hooks_;
     std::deque<counter> counters_;
     std::deque<gauge> gauges_;
     std::deque<watermark> watermarks_;

@@ -9,17 +9,27 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
-#include <vector>
+#include <type_traits>
 
 #include "analyze/probe.hpp"
 #include "analyze/shadow.hpp"
 #include "fault/inject.hpp"
+#include "mem/pool.hpp"
+#include "mem/transfer.hpp"
 #include "metrics/instruments.hpp"
 
 namespace syclite {
 
 enum class access_mode { read, write, read_write, discard_write };
+
+/// Property tag mirroring sycl::no_init: the buffer's storage is left
+/// uninitialized because the first kernel touching it writes every element
+/// (discard_write). Only meaningful for trivial element types; non-trivial
+/// types are always constructed.
+struct no_init_t {};
+inline constexpr no_init_t no_init{};
 
 namespace detail {
 
@@ -121,34 +131,51 @@ inline std::size_t checked_buffer_count(std::size_t count, std::size_t elem) {
     return count;
 }
 
+/// Whether freshly allocated storage is value-initialized or left raw.
+enum class fill { value, none };
+
 }  // namespace detail
 
+/// Buffer storage is an owned 64-byte-aligned span from the altis::mem pool
+/// (docs/PERFORMANCE.md "Memory subsystem") rather than a std::vector<T>:
+/// sweep re-runs recycle the identical block instead of round-tripping the
+/// OS, and discard_write workloads can skip the value-initialization pass a
+/// vector would force with the `no_init` tag. The default constructors keep
+/// the vector's observable zero/value-init semantics.
 template <typename T>
 class buffer {
 public:
-    /// Uninitialized device-only buffer.
-    explicit buffer(std::size_t count)
-        : data_(detail::checked_buffer_count(count, sizeof(T))) {
-        meter_alloc();
-    }
+    /// Device-only buffer; elements are value-initialized (all-zero for
+    /// trivial T), matching the std::vector storage this replaced.
+    explicit buffer(std::size_t count) : buffer(count, detail::fill::value) {}
+
+    /// Device-only buffer with uninitialized storage: the discard_write /
+    /// no-init fast path. Trivial element types skip the zero-fill pass
+    /// entirely; non-trivial types are default-constructed regardless.
+    buffer(std::size_t count, no_init_t) : buffer(count, detail::fill::none) {}
 
     /// Copy-in from host data; no write-back.
-    buffer(const T* src, std::size_t count)
-        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))) {
-        meter_alloc();
+    buffer(const T* src, std::size_t count) : buffer(count, detail::fill::none) {
+        copy_in(src);
     }
 
     /// Copy-in from host data; contents are written back to `src` when the
     /// buffer is destroyed (SYCL host-pointer semantics).
     buffer(T* src, std::size_t count, use_host_ptr_t)
-        : data_(src, src + detail::checked_buffer_count(count, sizeof(T))),
-          writeback_(src) {
-        meter_alloc();
+        : buffer(count, detail::fill::none) {
+        copy_in(src);
+        writeback_ = src;
     }
 
     ~buffer() {
-        if (writeback_ != nullptr)
-            std::memcpy(writeback_, data_.data(), data_.size() * sizeof(T));
+        if (writeback_ != nullptr && count_ > 0) {
+            if constexpr (std::is_trivially_copyable_v<T>)
+                altis::mem::copy_bytes(writeback_, data_, count_ * sizeof(T));
+            else
+                std::copy(data_, data_ + count_, writeback_);
+        }
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            std::destroy(data_, data_ + count_);
         // Reverse the live-bytes charge only against the session that made
         // it: a buffer outliving its session (or straddling two) must not
         // drag the next session's gauge negative.
@@ -156,6 +183,7 @@ public:
             altis::metrics::collection_epoch() == metered_epoch_)
             altis::metrics::instruments::buffer_live_bytes().sub(
                 static_cast<std::int64_t>(metered_bytes_));
+        altis::mem::deallocate(data_);
     }
 
     buffer(const buffer&) = delete;
@@ -163,15 +191,16 @@ public:
     buffer(buffer&&) = delete;
     buffer& operator=(buffer&&) = delete;
 
-    [[nodiscard]] std::size_t size() const { return data_.size(); }
-    [[nodiscard]] std::size_t byte_size() const { return data_.size() * sizeof(T); }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] std::size_t byte_size() const { return count_ * sizeof(T); }
 
-    /// Host-side view (valid because storage is host memory).
-    [[nodiscard]] T* host_data() { return data_.data(); }
-    [[nodiscard]] const T* host_data() const { return data_.data(); }
+    /// Host-side view (valid because storage is host memory). Non-null even
+    /// for zero-size buffers (the pool hands out a unique block).
+    [[nodiscard]] T* host_data() { return data_; }
+    [[nodiscard]] const T* host_data() const { return data_; }
 
     [[nodiscard]] accessor<T> access(access_mode mode) {
-        return accessor<T>(data_.data(), data_.size(), mode, &counter_);
+        return accessor<T>(data_, count_, mode, &counter_);
     }
 
     [[nodiscard]] std::uint64_t access_count() const {
@@ -180,6 +209,31 @@ public:
     void reset_access_count() { counter_.accesses.store(0); }
 
 private:
+    buffer(std::size_t count, detail::fill f)
+        : count_(detail::checked_buffer_count(count, sizeof(T))),
+          data_(static_cast<T*>(altis::mem::allocate(count_ * sizeof(T)))) {
+        if constexpr (std::is_trivially_default_constructible_v<T> &&
+                      std::is_trivially_copyable_v<T>) {
+            if (f == detail::fill::value && count_ > 0)
+                std::memset(static_cast<void*>(data_), 0, count_ * sizeof(T));
+        } else {
+            // Non-trivial T: uninitialized storage is never handed out.
+            std::uninitialized_value_construct(data_, data_ + count_);
+        }
+        meter_alloc();
+    }
+
+    /// Copy-in fast path: trivially copyable elements move as raw bytes
+    /// through mem::copy_bytes, which fans large spans out across the
+    /// thread pool as chunked parallel memcpy jobs.
+    void copy_in(const T* src) {
+        if (count_ == 0) return;
+        if constexpr (std::is_trivially_copyable_v<T>)
+            altis::mem::copy_bytes(data_, src, count_ * sizeof(T));
+        else
+            std::copy(src, src + count_, data_);
+    }
+
     void meter_alloc() {
         if (!altis::metrics::collecting()) return;
         namespace mi = altis::metrics::instruments;
@@ -192,7 +246,8 @@ private:
             mi::buffer_peak_bytes().record(static_cast<std::uint64_t>(live));
     }
 
-    std::vector<T> data_;
+    std::size_t count_ = 0;
+    T* data_ = nullptr;
     T* writeback_ = nullptr;
     detail::access_counter counter_;
     /// Bytes charged to the live-bytes gauge at construction (0 when metrics

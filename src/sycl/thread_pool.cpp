@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "mem/transfer.hpp"
 #include "metrics/instruments.hpp"
 #include "resilience/cancel.hpp"
 
@@ -19,6 +20,15 @@ namespace {
             .count());
 }
 
+/// Bridge handed to altis::mem so large host<->device copies fan out as
+/// chunked memcpy jobs on the global pool. A plain function pointer keeps
+/// mem free of a link dependency on syclite.
+void pool_copy_runner(std::size_t n, void (*fn)(void*, std::size_t),
+                      void* ctx) {
+    thread_pool::global().parallel_for(n,
+                                       [&](std::size_t i) { fn(ctx, i); });
+}
+
 }  // namespace
 
 thread_pool::thread_pool(unsigned threads) {
@@ -30,9 +40,16 @@ thread_pool::thread_pool(unsigned threads) {
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
         workers_.emplace_back([this] { worker_loop(); });
+    // First pool up (usually the global one) wires the transfer fast path.
+    // Idempotent: re-installing the same bridge is harmless.
+    altis::mem::set_parallel_runner(&pool_copy_runner);
 }
 
 thread_pool::~thread_pool() {
+    // Disarm the transfer bridge before joining: a copy_bytes issued during
+    // static destruction must fall back to plain memcpy, never dispatch into
+    // a pool whose workers are gone. Costs only the fast path, never data.
+    altis::mem::set_parallel_runner(nullptr);
     {
         std::lock_guard lock(mutex_);
         stop_ = true;

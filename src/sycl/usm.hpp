@@ -7,11 +7,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <new>
 #include <stdexcept>
 
 #include "analyze/recorder.hpp"
 #include "fault/inject.hpp"
+#include "mem/pool.hpp"
 #include "metrics/alloc_ledger.hpp"
 #include "metrics/instruments.hpp"
 #include "sycl/queue.hpp"
@@ -37,11 +37,19 @@ template <typename T>
     altis::fault::maybe_inject(altis::fault::op_kind::alloc, to_string(kind),
                                std::to_string(count * sizeof(T)) + " bytes");
     if (!q.device().usm_supported) return nullptr;
-    T* p = static_cast<T*>(::operator new(count * sizeof(T), std::align_val_t{64}));
+    // Pool-backed: the altis::mem size-class allocator recycles the block
+    // the next sweep configuration will ask for again (64-byte aligned, as
+    // ::operator new(std::align_val_t{64}) was before). A zero-count request
+    // still yields a unique, freeable pointer (smallest size class), so the
+    // alloc/free pairing stays observable to the ledger and the sanitizer.
+    T* p = static_cast<T*>(altis::mem::allocate(count * sizeof(T)));
     // The sanitizer's USM liveness tracking (ALS-H4) pairs this with
-    // usm_free and the ranges kernels declare via handler::uses_usm.
+    // usm_free and the ranges kernels declare via handler::uses_usm. The
+    // generation tag keeps a recycled address from aliasing two logical
+    // allocations onto one fingerprint.
     if (auto* rec = altis::analyze::recorder::current())
-        rec->record_usm_alloc(p, count * sizeof(T));
+        rec->record_usm_alloc(p, count * sizeof(T),
+                              altis::mem::generation_of(p));
     if (altis::metrics::collecting()) {
         namespace mi = altis::metrics::instruments;
         const std::uint64_t bytes = count * sizeof(T);
@@ -71,7 +79,7 @@ template <typename T>
 inline void usm_free(void* ptr, const queue& /*q*/) {
     if (ptr != nullptr) {
         if (auto* rec = altis::analyze::recorder::current())
-            rec->record_usm_free(ptr);
+            rec->record_usm_free(ptr, altis::mem::generation_of(ptr));
         if (altis::metrics::collecting()) {
             namespace mi = altis::metrics::instruments;
             mi::usm_frees().add();
@@ -84,7 +92,10 @@ inline void usm_free(void* ptr, const queue& /*q*/) {
                 mi::usm_live_bytes().sub(static_cast<std::int64_t>(bytes));
         }
     }
-    ::operator delete(ptr, std::align_val_t{64});
+    // Routed by the block header to whichever path allocated it (pool size
+    // class, large reuse cache, or the system fallback backend); debug
+    // builds assert on mismatched or double frees.
+    altis::mem::deallocate(ptr);
 }
 
 /// mem_advise advice values. The valid set is device-dependent (the DPCT

@@ -202,6 +202,40 @@ TEST(Hazards, H4DoubleFreeOnHandBuiltGraph) {
               std::string::npos);
 }
 
+TEST(Hazards, H4GenerationsDisambiguateARecycledAddress) {
+    // The altis::mem pool recycles addresses, so two logical allocations can
+    // share one base. The generation tag must keep their findings apart:
+    // same base, different generation -> different fingerprint.
+    const void* base = reinterpret_cast<const void*>(0x2000);
+    const auto double_free_graph = [&](std::uint64_t gen) {
+        command_graph g;
+        node alloc;
+        alloc.kind = node_kind::usm_alloc;
+        alloc.queue = 0;
+        alloc.accesses = {{base, 128, access::read_write, mem_kind::usm, gen}};
+        node free1 = alloc;
+        free1.kind = node_kind::usm_free;
+        node free2 = free1;
+        g.nodes = {alloc, free1, free2};
+        return g;
+    };
+    report r1;
+    lint_hazards(double_free_graph(7), r1);
+    report r2;
+    lint_hazards(double_free_graph(8), r2);
+    ASSERT_TRUE(has_rule(r1, "ALS-H4"));
+    ASSERT_TRUE(has_rule(r2, "ALS-H4"));
+    const finding& f1 = r1.findings().front();
+    const finding& f2 = r2.findings().front();
+    EXPECT_NE(f1.object.find("#g7"), std::string::npos) << f1.object;
+    EXPECT_NE(fingerprint(f1), fingerprint(f2));
+    // Untagged graphs (generation 0, the hand-built default) keep their
+    // historical labels -- no suffix.
+    report r0;
+    lint_hazards(double_free_graph(0), r0);
+    EXPECT_EQ(r0.findings().front().object.find("#g"), std::string::npos);
+}
+
 TEST(Hazards, H4CleanWhileAllocationIsLive) {
     recorder rec;
     {

@@ -1,0 +1,92 @@
+// Pool integration with the neighbouring subsystems: metrics sessions that
+// start while the caches are already warm (gauges must never go negative),
+// and fault injection, whose `alloc:usm*@N` checkpoints count logical
+// allocations -- pool-internal slab and cache traffic must be invisible.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/inject.hpp"
+#include "mem/pool.hpp"
+#include "metrics/instruments.hpp"
+#include "metrics/session.hpp"
+#include "sycl/syclite.hpp"
+
+namespace altis::mem {
+namespace {
+
+TEST(PoolMetrics, WarmCachesSurviveASessionBoundaryWithoutNegativeGauges) {
+    namespace mi = altis::metrics::instruments;
+    // Warm the caches with no session active: blocks park in the magazine
+    // and the large reuse cache while the gauges are not collecting.
+    flush_thread_magazines();
+    trim();
+    std::vector<void*> small;
+    for (int i = 0; i < 20; ++i) small.push_back(allocate(256));
+    void* big = allocate(std::size_t{8} << 20);
+    for (void* p : small) deallocate(p);
+    deallocate(big);
+    {
+        // Session start resets the registry; the pool's reset hook must
+        // re-seed the level gauges from the true resident level, so that
+        // draining the pre-session caches cannot drive them negative.
+        altis::metrics::session s("epoch-test", {/*sample_hz=*/0.0});
+        EXPECT_GT(mi::mem_magazine_blocks().value(), 0);
+        EXPECT_GT(mi::mem_reuse_cache_bytes().value(), 0);
+        std::vector<void*> again;
+        for (int i = 0; i < 20; ++i) again.push_back(allocate(256));
+        void* big2 = allocate(std::size_t{8} << 20);
+        EXPECT_GE(mi::mem_magazine_blocks().value(), 0)
+            << "draining a pre-session magazine went negative";
+        EXPECT_GE(mi::mem_reuse_cache_bytes().value(), 0)
+            << "draining the pre-session reuse cache went negative";
+        EXPECT_GT(mi::mem_pool_hits().value(), 0u)
+            << "warm caches must register as hits in the new session";
+        for (void* p : again) deallocate(p);
+        deallocate(big2);
+        EXPECT_GE(mi::mem_magazine_blocks().value(), 0);
+        EXPECT_GE(mi::mem_reuse_cache_bytes().value(), 0);
+    }
+}
+
+TEST(PoolFault, UsmCheckpointsCountLogicalAllocationsNotSlabs) {
+    // The first allocation carves a fresh slab (several OS blocks) and the
+    // large one below touches the OS directly; none of that internal
+    // traffic may consume fault checkpoints. Only the Nth *logical* USM
+    // allocation fires.
+    fault::plan p = fault::plan::parse("alloc:usm*@3");
+    fault::scope scope(p);
+    syclite::queue q("rtx_2080");
+    float* a = syclite::malloc_device<float>(4096, q);  // slab carve
+    ASSERT_NE(a, nullptr);
+    auto* b = syclite::malloc_device<double>(1 << 21, q);  // large, fresh OS
+    ASSERT_NE(b, nullptr);
+    EXPECT_THROW((void)syclite::malloc_device<float>(16, q),
+                 fault::alloc_fault);
+    // The plan is one-shot at @3: the next allocation proceeds.
+    float* c = syclite::malloc_device<float>(16, q);
+    EXPECT_NE(c, nullptr);
+    syclite::usm_free(a, q);
+    syclite::usm_free(b, q);
+    syclite::usm_free(c, q);
+}
+
+TEST(PoolFault, InjectionIsDeterministicAcrossWarmAndColdCaches) {
+    // Same plan, run twice: cold caches the first time, warm the second.
+    // The checkpoint index must hit the same logical allocation both times.
+    for (int round = 0; round < 2; ++round) {
+        fault::plan p = fault::plan::parse("alloc:usm*@2");
+        fault::scope scope(p);
+        syclite::queue q("rtx_2080");
+        float* a = syclite::malloc_device<float>(512, q);
+        ASSERT_NE(a, nullptr) << "round " << round;
+        EXPECT_THROW((void)syclite::malloc_device<float>(512, q),
+                     fault::alloc_fault)
+            << "round " << round;
+        syclite::usm_free(a, q);
+    }
+}
+
+}  // namespace
+}  // namespace altis::mem

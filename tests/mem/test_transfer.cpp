@@ -1,0 +1,123 @@
+// copy_bytes contract: small copies stay one memcpy, large copies fan out
+// through the installed runner in 2 MiB chunks with exact byte coverage
+// (including ragged tails), and the fast path degrades to memcpy when no
+// runner is installed.
+#include "mem/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "metrics/instruments.hpp"
+#include "metrics/session.hpp"
+
+namespace altis::mem {
+namespace {
+
+std::atomic<std::size_t> g_runner_calls{0};
+std::atomic<std::size_t> g_runner_chunks{0};
+
+/// Serial stand-in for the thread pool: runs every chunk inline, counting
+/// invocations so tests can observe which path copy_bytes took.
+void counting_runner(std::size_t n, void (*fn)(void*, std::size_t),
+                     void* ctx) {
+    g_runner_calls.fetch_add(1);
+    g_runner_chunks.fetch_add(n);
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+}
+
+/// Installs the counting runner for one test, restoring whatever was there.
+struct runner_guard {
+    parallel_runner prev = parallel_runner_installed();
+    runner_guard() {
+        g_runner_calls.store(0);
+        g_runner_chunks.store(0);
+        set_parallel_runner(&counting_runner);
+    }
+    ~runner_guard() { set_parallel_runner(prev); }
+};
+
+[[nodiscard]] std::vector<unsigned char> pattern(std::size_t n) {
+    std::vector<unsigned char> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<unsigned char>(i * 131 + (i >> 9));
+    return v;
+}
+
+TEST(Transfer, ThresholdDefaultsToFourMiB) {
+    EXPECT_EQ(parallel_copy_threshold(), std::size_t{4} * 1024 * 1024);
+}
+
+TEST(Transfer, SmallCopyNeverDispatchesToTheRunner) {
+    runner_guard guard;
+    const auto src = pattern(64 * 1024);
+    std::vector<unsigned char> dst(src.size());
+    copy_bytes(dst.data(), src.data(), src.size());
+    EXPECT_EQ(dst, src);
+    EXPECT_EQ(g_runner_calls.load(), 0u);
+}
+
+TEST(Transfer, LargeCopyFansOutInChunksAndIsByteExact) {
+    runner_guard guard;
+    // 5 MiB + 7: above the threshold with a ragged tail chunk.
+    const std::size_t bytes = (std::size_t{5} << 20) + 7;
+    const auto src = pattern(bytes);
+    std::vector<unsigned char> dst(bytes, 0);
+    copy_bytes(dst.data(), src.data(), bytes);
+    EXPECT_EQ(dst, src);
+    EXPECT_EQ(g_runner_calls.load(), 1u);
+    // ceil((5 MiB + 7) / 2 MiB) = 3 chunks.
+    EXPECT_EQ(g_runner_chunks.load(), 3u);
+}
+
+TEST(Transfer, ExactThresholdTakesTheParallelPath) {
+    runner_guard guard;
+    const std::size_t bytes = parallel_copy_threshold();
+    const auto src = pattern(bytes);
+    std::vector<unsigned char> dst(bytes, 0);
+    copy_bytes(dst.data(), src.data(), bytes);
+    EXPECT_EQ(dst, src);
+    EXPECT_EQ(g_runner_calls.load(), 1u);
+    // One byte less stays serial.
+    copy_bytes(dst.data(), src.data(), bytes - 1);
+    EXPECT_EQ(g_runner_calls.load(), 1u);
+}
+
+TEST(Transfer, NoRunnerFallsBackToPlainMemcpy) {
+    const parallel_runner prev = parallel_runner_installed();
+    set_parallel_runner(nullptr);
+    const std::size_t bytes = std::size_t{6} << 20;
+    const auto src = pattern(bytes);
+    std::vector<unsigned char> dst(bytes, 0);
+    copy_bytes(dst.data(), src.data(), bytes);
+    EXPECT_EQ(dst, src);
+    set_parallel_runner(prev);
+}
+
+TEST(Transfer, ZeroBytesIsANoOp) {
+    runner_guard guard;
+    copy_bytes(nullptr, nullptr, 0);  // must not dereference anything
+    EXPECT_EQ(g_runner_calls.load(), 0u);
+}
+
+TEST(Transfer, ParallelCopiesAreMeteredUnderASession) {
+    runner_guard guard;
+    namespace mi = altis::metrics::instruments;
+    const std::size_t bytes = std::size_t{4} << 20;
+    const auto src = pattern(bytes);
+    std::vector<unsigned char> dst(bytes, 0);
+    altis::metrics::session s("transfer-test", {/*sample_hz=*/0.0});
+    copy_bytes(dst.data(), src.data(), bytes);
+    EXPECT_EQ(mi::mem_parallel_copies().value(), 1u);
+    EXPECT_EQ(mi::mem_parallel_copy_bytes().value(), bytes);
+    // Below-threshold traffic is not counted as a parallel copy.
+    copy_bytes(dst.data(), src.data(), 1024);
+    EXPECT_EQ(mi::mem_parallel_copies().value(), 1u);
+}
+
+}  // namespace
+}  // namespace altis::mem

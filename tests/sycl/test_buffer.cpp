@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -73,6 +74,64 @@ TEST(Accessor, CountsAccessesWhenEnabled) {
 TEST(Accessor, GetPointerMatchesHostData) {
     buffer<double> b(3);
     EXPECT_EQ(b.access(access_mode::read).get_pointer(), b.host_data());
+}
+
+// ---- altis::mem-backed storage ----
+
+TEST(Buffer, DefaultConstructionValueInitializesLikeTheVectorItReplaced) {
+    // Recycled pool blocks arrive dirty; buffer(count) must still observe
+    // all-zero storage. Dirty the block first to make the memset visible.
+    {
+        buffer<int> dirty(256, no_init);
+        for (std::size_t i = 0; i < dirty.size(); ++i)
+            dirty.host_data()[i] = -1;
+    }
+    buffer<int> b(256);  // magazine LIFO: same block as `dirty`
+    for (std::size_t i = 0; i < b.size(); ++i)
+        ASSERT_EQ(b.host_data()[i], 0) << i;
+}
+
+TEST(Buffer, StorageIsSixtyFourByteAligned) {
+    buffer<float> b(100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.host_data()) % 64, 0u);
+}
+
+TEST(Buffer, ZeroSizeBufferHasUniqueNonNullStorage) {
+    buffer<int> a(0);
+    buffer<int> b(0);
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_NE(a.host_data(), nullptr);
+    EXPECT_NE(b.host_data(), nullptr);
+    EXPECT_NE(a.host_data(), b.host_data());
+}
+
+TEST(Buffer, ZeroSizeHostPtrBufferSkipsCopyAndWriteback) {
+    int sentinel = 42;
+    { buffer<int> b(&sentinel, 0, use_host_ptr); }
+    EXPECT_EQ(sentinel, 42);
+}
+
+TEST(Buffer, NoInitSkipsZeroFillButStaysWritable) {
+    buffer<int> b(1024, no_init);  // contents unspecified; must be usable
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.host_data()[i] = static_cast<int>(i);
+    EXPECT_EQ(b.host_data()[1023], 1023);
+}
+
+TEST(Buffer, NonTrivialElementsAreConstructedAndDestroyed) {
+    static int live = 0;
+    struct probe {
+        probe() { ++live; }
+        probe(const probe&) { ++live; }
+        ~probe() { --live; }
+    };
+    {
+        buffer<probe> b(16);
+        EXPECT_EQ(live, 16);
+        buffer<probe> raw(8, no_init);  // non-trivial: still constructed
+        EXPECT_EQ(live, 24);
+    }
+    EXPECT_EQ(live, 0);
 }
 
 }  // namespace

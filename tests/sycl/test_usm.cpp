@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
+#include "analyze/sanitize.hpp"
+#include "mem/pool.hpp"
+
 namespace syclite {
 namespace {
 
@@ -62,6 +67,52 @@ TEST(MemAdvise, FpgaRejectsAdvise) {
     int dummy = 0;
     EXPECT_THROW(mem_advise(q, &dummy, 4, mem_advice::read_mostly),
                  std::runtime_error);
+}
+
+// ---- altis::mem-backed USM ----
+
+TEST(Usm, ZeroCountAllocationsAreUniqueNonNullAndFreeable) {
+    queue q("rtx_2080");
+    float* a = malloc_device<float>(0, q);
+    float* b = malloc_device<float>(0, q);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);  // unique identity: the alloc/free pairing stays 1:1
+    usm_free(a, q);
+    usm_free(b, q);
+}
+
+TEST(Usm, ZeroCountAllocationRaisesNoSanitizerFinding) {
+    altis::analyze::recorder rec;
+    {
+        altis::analyze::recorder::scope scope(rec);
+        queue q("rtx_2080");
+        float* p = malloc_device<float>(0, q);
+        ASSERT_NE(p, nullptr);
+        usm_free(p, q);
+    }
+    const altis::analyze::report r = altis::analyze::run_all(rec);
+    for (const auto& f : r.findings())
+        EXPECT_NE(f.rule, "ALS-H4") << f.message;
+}
+
+TEST(Usm, AllocationsAreSixtyFourByteAligned) {
+    queue q("rtx_2080");
+    char* p = malloc_host<char>(100, q);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+    usm_free(p, q);
+}
+
+TEST(Usm, RecycledAddressCarriesAFreshGeneration) {
+    queue q("rtx_2080");
+    float* a = malloc_device<float>(64, q);
+    const std::uint64_t g1 = altis::mem::generation_of(a);
+    usm_free(a, q);
+    float* b = malloc_device<float>(64, q);
+    EXPECT_EQ(b, a);  // pool recycles the block...
+    EXPECT_GT(altis::mem::generation_of(b), g1);  // ...under a new identity
+    usm_free(b, q);
 }
 
 }  // namespace
