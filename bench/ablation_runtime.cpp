@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -259,6 +260,76 @@ void BM_TransferUpload(benchmark::State& state) {
                             static_cast<std::int64_t>(n * sizeof(float)));
 }
 BENCHMARK(BM_TransferUpload)->Arg(1 << 22)->Arg(16 << 20);
+
+// ---- command-graph scheduler (docs/PERFORMANCE.md "Graph overlap") ----
+
+/// Independent wall-clock workloads (no shared accessors, no explicit
+/// edges): the in-order queue runs them back to back, the out-of-order
+/// queue dispatches all of them onto pool workers at once. Real sleeps, so
+/// the benches must run on real time -- CPU time is ~0 either way.
+constexpr int kOverlapKernels = 4;
+constexpr std::chrono::milliseconds kOverlapSleep{2};
+
+void overlap_round(queue& q) {
+    for (int i = 0; i < kOverlapKernels; ++i)
+        q.submit([&](handler& h) {
+            h.library_call(tiny_stats(),
+                           [] { std::this_thread::sleep_for(kOverlapSleep); });
+        });
+    q.wait();
+}
+
+void BM_GraphOverlapInOrder(benchmark::State& state) {
+    queue q("xeon_6128");
+    for (auto _ : state) overlap_round(q);
+    state.SetItemsProcessed(state.iterations() * kOverlapKernels);
+}
+BENCHMARK(BM_GraphOverlapInOrder)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphOverlapOOO(benchmark::State& state) {
+    thread_pool pool(kOverlapKernels);
+    queue q("xeon_6128", queue_property::out_of_order);
+    q.set_graph_pool(&pool);
+    for (auto _ : state) overlap_round(q);
+    // The pool outlives the queue: drop the scheduler's reference before the
+    // pool's workers go away.
+    q.wait();
+    state.SetItemsProcessed(state.iterations() * kOverlapKernels);
+}
+BENCHMARK(BM_GraphOverlapOOO)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+/// Submit-side scheduler cost on a dependent chain: every submission
+/// read-writes the same buffer, so the graph path resolves one implied edge
+/// per node (segment carving + two-phase release) where the eager path just
+/// runs. Measures bookkeeping, not overlap.
+void sched_latency_round(queue& q, buffer<int>& b, int n) {
+    for (int i = 0; i < n; ++i)
+        q.submit([&](handler& h) {
+            auto acc = h.get_access(b, access_mode::read_write);
+            h.single_task(tiny_stats(), [=]() { acc[0] += 1; });
+        });
+    q.wait();
+}
+
+constexpr int kSchedChain = 64;
+
+void BM_SchedLatencyInOrder(benchmark::State& state) {
+    queue q("xeon_6128");
+    buffer<int> b(1);
+    for (auto _ : state) sched_latency_round(q, b, kSchedChain);
+    state.SetItemsProcessed(state.iterations() * kSchedChain);
+}
+BENCHMARK(BM_SchedLatencyInOrder);
+
+void BM_SchedLatencyOOO(benchmark::State& state) {
+    queue q("xeon_6128", queue_property::out_of_order);
+    buffer<int> b(1);
+    for (auto _ : state) sched_latency_round(q, b, kSchedChain);
+    state.SetItemsProcessed(state.iterations() * kSchedChain);
+}
+BENCHMARK(BM_SchedLatencyOOO);
 
 /// The same upload as the runtime performed it before the memory subsystem:
 /// a fresh std::vector (whose value-initialization writes every byte once

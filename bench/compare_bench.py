@@ -12,7 +12,13 @@ snapshot, see docs/OBSERVABILITY.md). The gate:
     dispatch and pipe paths (BM_ParallelFor*, BM_PipeThroughput*) -- the two
     the paper's dataflow designs lean on hardest -- plus the memory
     subsystem's alloc-churn and transfer paths (BM_AllocChurn*,
-    BM_Transfer*, docs/PERFORMANCE.md "Memory subsystem");
+    BM_Transfer*, docs/PERFORMANCE.md "Memory subsystem") and the command
+    graph scheduler (BM_GraphOverlap*, BM_SchedLatency*);
+  * fails (exit 1) when the current report contains both graph-overlap
+    benchmarks and out-of-order execution is not at least
+    --overlap-speedup x faster than in-order on wall clock (the whole
+    point of the scheduler, docs/PERFORMANCE.md "Graph overlap"); skipped
+    silently when either benchmark is absent;
   * reports every other benchmark's delta informationally;
   * diffs the embedded engine telemetry (counters only: pool jobs, pipe
     parks, ...) informationally, so a timing regression arrives with the
@@ -26,7 +32,18 @@ import json
 import sys
 
 GATED_PREFIXES = ("BM_ParallelFor", "BM_PipeThroughput", "BM_AllocChurn",
-                  "BM_Transfer")
+                  "BM_Transfer", "BM_GraphOverlap", "BM_SchedLatency")
+
+
+def prefixed_time(times, prefix):
+    """real_time of the single benchmark whose name starts with `prefix`.
+
+    The overlap benches run with ->UseRealTime(), which suffixes the
+    reported name with "/real_time" -- hence prefix match, not exact.
+    Returns None when absent or ambiguous.
+    """
+    hits = [t for n, t in times.items() if n.startswith(prefix)]
+    return hits[0] if len(hits) == 1 else None
 
 
 def load_report(path):
@@ -70,6 +87,10 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="max allowed relative real_time regression on "
                          "gated benchmarks (default 0.25 = +25%%)")
+    ap.add_argument("--overlap-speedup", type=float, default=1.5,
+                    help="min required BM_GraphOverlapInOrder / "
+                         "BM_GraphOverlapOOO wall-clock ratio in the "
+                         "current report (default 1.5)")
     args = ap.parse_args()
 
     try:
@@ -114,6 +135,19 @@ def main():
     if shifts:
         print("engine telemetry shifts (informational):")
         print("\n".join(shifts))
+
+    in_order = prefixed_time(new_times, "BM_GraphOverlapInOrder")
+    ooo = prefixed_time(new_times, "BM_GraphOverlapOOO")
+    if in_order is not None and ooo is not None and ooo > 0:
+        speedup = in_order / ooo
+        print(f"graph overlap: in-order {in_order:.1f} ns vs OOO "
+              f"{ooo:.1f} ns -> {speedup:.2f}x speedup "
+              f"(required >= {args.overlap_speedup:.2f}x)")
+        if speedup < args.overlap_speedup:
+            print(f"\ncompare_bench: out-of-order graph overlap speedup "
+                  f"{speedup:.2f}x is below the required "
+                  f"{args.overlap_speedup:.2f}x", file=sys.stderr)
+            return 1
 
     if failures:
         print(f"\ncompare_bench: {len(failures)} gated benchmark(s) "

@@ -119,6 +119,15 @@ struct node {
     /// the perf-lint rules apply -- there is no real command order, no
     /// buffers and no pipe identities behind it.
     bool simulated = false;
+    /// Submitted to an out-of-order graph queue: command order in this log
+    /// does not imply execution order, so program-order passes (ALS-H2's
+    /// in-flight window) must skip it -- ordering is captured as real
+    /// happens-before edges in the shadow store instead.
+    bool ooo = false;
+    /// Wait nodes on out-of-order queues: commands pending in the graph when
+    /// the join was issued. 0 means the join had no incoming edges at all --
+    /// the ALS-L5 redundant-wait hint keys off this, not off program order.
+    std::size_t pending = 0;
 };
 
 struct command_graph {

@@ -86,6 +86,11 @@ void lint_host_transfers(const command_graph& g, report& out) {
         in_flight;
     for (const node& n : g.nodes) {
         if (n.simulated) continue;
+        // Out-of-order nodes: the log position is a submission order, not an
+        // execution order, so the in-flight window is meaningless. Host/device
+        // overlap on OOO queues is covered by the HB-precise ALS-R1 pass over
+        // the graph's real edges.
+        if (n.ooo && n.kind != node_kind::wait) continue;
         switch (n.kind) {
             case node_kind::kernel:
                 for (const mem_access& a : n.accesses)
@@ -201,11 +206,22 @@ void lint_redundant_waits(const command_graph& g, report& out) {
     for (const node& n : g.nodes) {
         if (n.simulated) continue;
         if (n.kind == node_kind::wait) {
-            if (work_since_wait[n.queue] == 0)
+            if (n.ooo) {
+                // Graph queues carry the truth on the node itself: `pending`
+                // counts the join's incoming edges. An edge-free join is a
+                // full-queue barrier that ordered nothing.
+                if (n.pending == 0)
+                    out.add(make_finding(
+                        "ALS-L5", "wait", "queue #" + std::to_string(n.queue),
+                        "graph join with no commands pending since the "
+                        "previous synchronization; wait on the producing "
+                        "command's event (event::wait()) or drop the wait()"));
+            } else if (work_since_wait[n.queue] == 0) {
                 out.add(make_finding("ALS-L5", "wait",
                                      "queue #" + std::to_string(n.queue),
                                      "wait() with no commands submitted since "
                                      "the previous synchronization"));
+            }
             work_since_wait[n.queue] = 0;
         } else if (n.kind != node_kind::usm_alloc &&
                    n.kind != node_kind::usm_free) {

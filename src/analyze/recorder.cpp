@@ -99,6 +99,77 @@ void recorder::add_node(node n) {
     graph_.nodes.push_back(std::move(n));
 }
 
+void recorder::add_node_graph(node n, const std::vector<int>& dep_actors) {
+    n.ooo = true;
+    {
+        std::lock_guard lock(mu_);
+        if (n.kind == node_kind::kernel && n.cg != 0) {
+            cg_kernel_[n.cg] = n.kernel;
+            const auto it = cg_actor_.find(n.cg);
+            if (it != cg_actor_.end()) n.actor = it->second;
+        }
+        for (const mem_access& a : n.accesses)
+            shadow_->register_region(a.base, a.bytes);
+        if (n.actor > 0) ooo_members_[n.queue].push_back(n.actor);
+    }
+    if (n.actor > 0) {
+        shadow_->name_actor(n.actor, n.kernel);
+        shadow_->on_submit_graph(n.actor, dep_actors);
+    }
+    std::lock_guard lock(mu_);
+    graph_.nodes.push_back(std::move(n));
+}
+
+int recorder::record_transfer_graph(int queue, node_kind kind,
+                                    const void* base, std::size_t bytes,
+                                    const std::vector<int>& dep_actors) {
+    const int actor = shadow_->new_actor();
+    shadow_->name_actor(actor, kind == node_kind::transfer_in
+                                   ? "transfer_in"
+                                   : "transfer_out");
+    shadow_->on_transfer_graph(actor, dep_actors, base, bytes,
+                               kind == node_kind::transfer_in);
+    shadow_->register_region(base, bytes);
+    node n;
+    n.kind = kind;
+    n.queue = queue;
+    n.ooo = true;
+    n.actor = actor;
+    n.accesses.push_back({base, bytes,
+                          kind == node_kind::transfer_in ? access::write
+                                                         : access::read,
+                          mem_kind::buffer});
+    std::lock_guard lock(mu_);
+    ooo_members_[queue].push_back(actor);
+    graph_.nodes.push_back(std::move(n));
+    return actor;
+}
+
+void recorder::record_graph_join(int queue) {
+    std::vector<int> members;
+    {
+        std::lock_guard lock(mu_);
+        const auto it = ooo_members_.find(queue);
+        if (it != ooo_members_.end()) members = std::move(it->second);
+        ooo_members_.erase(queue);
+    }
+    shadow_->on_host_join(members);
+}
+
+void recorder::record_graph_wait_node(int queue, std::size_t pending) {
+    node n;
+    n.kind = node_kind::wait;
+    n.queue = queue;
+    n.ooo = true;
+    n.pending = pending;
+    std::lock_guard lock(mu_);
+    graph_.nodes.push_back(std::move(n));
+}
+
+void recorder::record_host_join_actor(int actor) {
+    if (actor > 0) shadow_->on_host_join({actor});
+}
+
 void recorder::record_wait(int queue) {
     shadow_->on_wait(queue);
     node n;

@@ -62,6 +62,31 @@ public:
     void record_wait(int queue);
     void record_transfer(int queue, node_kind kind, const void* base,
                          std::size_t bytes);
+
+    // ---- out-of-order graph capture (DESIGN.md "Command graph") ----
+    // On an OOO queue the submission log is not an execution order, so
+    // happens-before is sourced from the scheduler's real edges instead of
+    // the in-order queue-clock chaining.
+
+    /// Kernel node on an out-of-order queue: `dep_actors` are the shadow
+    /// actors of its resolved graph dependencies (explicit depends_on plus
+    /// accessor-implied conflicts).
+    void add_node_graph(node n, const std::vector<int>& dep_actors);
+    /// Async transfer node on an out-of-order queue; allocates and returns
+    /// the transfer's own shadow actor (ordered after `dep_actors`).
+    int record_transfer_graph(int queue, node_kind kind, const void* base,
+                              std::size_t bytes,
+                              const std::vector<int>& dep_actors);
+    /// Graph join without a wait node (buffer write-back, queue teardown):
+    /// the host joins every outstanding member of `queue`'s graph.
+    void record_graph_join(int queue);
+    /// The wait node for queue::wait() on an OOO queue; `pending` is the
+    /// number of commands in the graph when the join was issued (ALS-L5).
+    /// Call after record_graph_join().
+    void record_graph_wait_node(int queue, std::size_t pending);
+    /// event::wait(): the host joined one node's actor (edges make that
+    /// transitive over the node's dependencies).
+    void record_host_join_actor(int actor);
     void record_usm_alloc(const void* base, std::size_t bytes,
                           std::uint64_t generation = 0);
     void record_usm_free(const void* base, std::uint64_t generation = 0);
@@ -113,6 +138,8 @@ private:
     std::unordered_map<std::uint64_t, std::string> cg_kernel_;
     std::unordered_map<std::uint64_t, int> cg_actor_;
     std::unordered_map<int, std::vector<int>> group_members_;
+    /// Actors submitted to a queue's out-of-order graph since its last join.
+    std::unordered_map<int, std::vector<int>> ooo_members_;
     /// (cg, base) pairs already reported by the probe (dedup).
     std::vector<std::pair<std::uint64_t, const void*>> stale_reported_;
 };

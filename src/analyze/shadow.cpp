@@ -214,6 +214,55 @@ void store::on_submit(int actor, int queue, bool dataflow) {
     if (!dataflow) queue_clock_[queue] = k;
 }
 
+void store::on_submit_graph(int actor, const std::vector<int>& dep_actors) {
+    detail::flush_calling_thread(this);
+    std::lock_guard lock(mu_);
+    if (actor <= 0 || actor >= static_cast<int>(actor_clock_.size())) return;
+    vector_clock& k = actor_clock_[actor];
+    k.join(actor_clock_[kHostActor]);
+    // The scheduler only starts this node after every dependency completed,
+    // so everything a dependency did -- including what it has not flushed
+    // yet, stamped with a clock no newer than read here -- happens-before
+    // this kernel. Joining the dependency's current clock is therefore a
+    // sound (possibly under-approximating, never over-approximating) edge.
+    for (const int d : dep_actors)
+        if (d > 0 && d < static_cast<int>(actor_clock_.size()))
+            k.join(actor_clock_[d]);
+    k.tick(static_cast<std::size_t>(actor));
+    dirty_locked(actor);
+    actor_clock_[kHostActor].tick(kHostActor);
+    dirty_locked(kHostActor);
+}
+
+void store::on_transfer_graph(int actor, const std::vector<int>& dep_actors,
+                              const void* base, std::size_t bytes,
+                              bool write) {
+    detail::flush_calling_thread(this);
+    std::lock_guard lock(mu_);
+    if (actor <= 0 || actor >= static_cast<int>(actor_clock_.size())) return;
+    vector_clock& k = actor_clock_[actor];
+    k.join(actor_clock_[kHostActor]);
+    for (const int d : dep_actors)
+        if (d > 0 && d < static_cast<int>(actor_clock_.size()))
+            k.join(actor_clock_[d]);
+    k.tick(static_cast<std::size_t>(actor));
+    dirty_locked(actor);
+    actor_clock_[kHostActor].tick(kHostActor);
+    dirty_locked(kHostActor);
+    const auto lo = reinterpret_cast<std::uint64_t>(base);
+    push_interval_locked(lo, lo + bytes, actor, write);
+}
+
+void store::on_host_join(const std::vector<int>& actors) {
+    detail::flush_calling_thread(this);
+    std::lock_guard lock(mu_);
+    for (const int a : actors)
+        if (a > 0 && a < static_cast<int>(actor_clock_.size()))
+            actor_clock_[kHostActor].join(actor_clock_[a]);
+    actor_clock_[kHostActor].tick(kHostActor);
+    dirty_locked(kHostActor);
+}
+
 void store::on_group_end(int queue, const std::vector<int>& members) {
     detail::flush_calling_thread(this);
     std::lock_guard lock(mu_);

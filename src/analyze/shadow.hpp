@@ -169,6 +169,19 @@ public:
     /// Sequential submissions then chain the queue clock through the kernel
     /// (Q = K); dataflow members leave Q untouched until on_group_end.
     void on_submit(int actor, int queue, bool dataflow);
+    /// Out-of-order submission: K = join(host, dep actors...); tick K; tick
+    /// host. No queue-clock chaining -- on an OOO queue the only ordering is
+    /// the graph's real edges, so two edge-free kernels stay concurrent and
+    /// ALS-R1 sees exactly the schedules the scheduler may produce.
+    void on_submit_graph(int actor, const std::vector<int>& dep_actors);
+    /// Out-of-order transfer: the copy runs asynchronously under its own
+    /// actor, ordered after its graph dependencies; the copied range is
+    /// recorded under that actor's clock (not the host's).
+    void on_transfer_graph(int actor, const std::vector<int>& dep_actors,
+                           const void* base, std::size_t bytes, bool write);
+    /// Graph join (queue::wait / event::wait / buffer write-back on an OOO
+    /// queue): the host joins the given actors' clocks, then ticks.
+    void on_host_join(const std::vector<int>& actors);
     /// Dataflow group joined: Q[queue] absorbs every member's final clock,
     /// and the host joins Q -- end_dataflow() joins the worker threads, so
     /// the host is genuinely ordered after the whole group.

@@ -213,7 +213,13 @@ AppResult run_impl(const RunConfig& cfg) {
     std::vector<Real> expected = initial_variables<Real>(p);
     golden(p, m, expected);
 
-    sl::queue q(dev, runtime_for(cfg.variant));
+    // ALTIS_OOO=1 opts into the out-of-order graph scheduler: the copy-old,
+    // step-factor and (first) flux kernels of an iteration are mutually
+    // independent and overlap; explicit depends_on edges carry the real
+    // ordering. Default in-order execution is unchanged.
+    sl::queue q(dev, runtime_for(cfg.variant), {},
+                ooo_enabled() ? sl::queue_property::out_of_order
+                              : sl::queue_property::in_order);
     if (dev.is_fpga())
         q.set_design(region(kFp64, cfg.variant, dev, cfg.size).all_kernels());
     // One-time context/JIT setup is excluded from the timed region (warmed up).
@@ -227,8 +233,10 @@ AppResult run_impl(const RunConfig& cfg) {
     // Pad to a work-group multiple; tail items are masked in the kernels.
     const std::size_t padded = (nel + wg - 1) / wg * wg;
 
+    sl::event e_ts;  // last time-step (the writer of vars)
     for (int iter = 0; iter < p.iterations; ++iter) {
-        q.submit([&](sl::handler& h) {  // copy old variables
+        sl::event e_copy = q.submit([&](sl::handler& h) {  // copy old variables
+            h.depends_on(e_ts);
             auto src = h.get_access(vars, sl::access_mode::read);
             auto dst = h.get_access(old_vars, sl::access_mode::discard_write);
             h.parallel_for(
@@ -238,7 +246,8 @@ AppResult run_impl(const RunConfig& cfg) {
                     if (i < nel * kVars) dst[i] = src[i];
                 });
         });
-        q.submit([&](sl::handler& h) {  // step factor
+        sl::event e_sf = q.submit([&](sl::handler& h) {  // step factor
+            h.depends_on(e_ts);
             auto v = h.get_access(vars, sl::access_mode::read);
             auto s = h.get_access(sf, sl::access_mode::discard_write);
             h.parallel_for(
@@ -250,7 +259,8 @@ AppResult run_impl(const RunConfig& cfg) {
                 });
         });
         for (int rk = 0; rk < kRkSteps; ++rk) {
-            q.submit([&](sl::handler& h) {  // compute flux
+            sl::event e_flux = q.submit([&](sl::handler& h) {  // compute flux
+                h.depends_on(e_ts);
                 auto v = h.get_access(vars, sl::access_mode::read);
                 auto fl = h.get_access(fluxes, sl::access_mode::discard_write);
                 const mesh* mp = &m;
@@ -263,7 +273,10 @@ AppResult run_impl(const RunConfig& cfg) {
                             element_flux(*mp, &v[0], nel, e, &fl[e * kVars]);
                     });
             });
-            q.submit([&](sl::handler& h) {  // time step
+            e_ts = q.submit([&](sl::handler& h) {  // time step
+                h.depends_on(e_copy);
+                h.depends_on(e_sf);
+                h.depends_on(e_flux);
                 auto v = h.get_access(vars, sl::access_mode::read_write);
                 auto ov = h.get_access(old_vars, sl::access_mode::read);
                 auto fl = h.get_access(fluxes, sl::access_mode::read);

@@ -2,6 +2,7 @@
 // a variant may target, and the result struct every app's run() returns.
 #pragma once
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,15 @@ void register_standard_app(std::string name, std::string description,
 
 /// Registers every application in the suite (idempotent).
 void register_all_apps();
+
+/// Opt-in for the out-of-order graph scheduler in apps that were ported to
+/// explicit event dependencies (fdtd2d, cfd): ALTIS_OOO=1 in the
+/// environment. Off by default so golden figure outputs -- produced through
+/// default in-order queues -- stay byte-identical.
+[[nodiscard]] inline bool ooo_enabled() {
+    const char* v = std::getenv("ALTIS_OOO");
+    return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
 
 inline const perf::device_spec& resolve_device(const RunConfig& cfg) {
     const perf::device_spec& dev = perf::device_by_name(cfg.device);

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "metrics/instruments.hpp"
 
@@ -11,6 +12,11 @@ namespace altis::mem {
 namespace {
 
 std::atomic<parallel_runner> g_runner{nullptr};  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+/// Copies currently executing through an installed runner. set_parallel_runner
+/// spins on this before returning, so a runner (and the pool behind it) can
+/// never be torn down underneath an in-flight graph transfer node.
+std::atomic<int> g_inflight{0};  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
 
 /// Chunk granularity: big enough that per-chunk scheduling cost is noise
 /// against the memcpy, small enough that a 64 MiB copy still spreads across
@@ -45,6 +51,12 @@ void copy_chunk(void* ctx, std::size_t i) {
 
 void set_parallel_runner(parallel_runner r) {
     g_runner.store(r, std::memory_order_release);
+    // Drain: a copy that loaded the previous runner may still be executing.
+    // Copies that raced past the store re-check the pointer after raising
+    // g_inflight (see copy_bytes), so once the count reaches zero no copy can
+    // use the old runner again and the caller may safely tear it down.
+    while (g_inflight.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
 }
 
 parallel_runner parallel_runner_installed() {
@@ -58,8 +70,22 @@ std::size_t parallel_copy_threshold() {
 
 void copy_bytes(void* dst, const void* src, std::size_t bytes) {
     if (bytes == 0) return;
+    if (g_runner.load(std::memory_order_acquire) == nullptr ||
+        bytes < parallel_copy_threshold()) {
+        std::memcpy(dst, src, bytes);
+        return;
+    }
+    // Enter the in-flight window first, then re-read the runner: if a
+    // concurrent set_parallel_runner(nullptr) won the race its drain loop
+    // already observed count 0, so this copy must not use the stale pointer.
+    g_inflight.fetch_add(1, std::memory_order_acq_rel);
+    struct inflight_release {
+        ~inflight_release() {
+            g_inflight.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    } release;
     const parallel_runner run = g_runner.load(std::memory_order_acquire);
-    if (run == nullptr || bytes < parallel_copy_threshold()) {
+    if (run == nullptr) {
         std::memcpy(dst, src, bytes);
         return;
     }

@@ -20,7 +20,10 @@ using parallel_runner = void (*)(std::size_t n, void (*fn)(void*, std::size_t),
                                  void* ctx);
 
 /// Installs (or clears, with nullptr) the process-wide runner. Idempotent;
-/// called by syclite::thread_pool's constructor.
+/// called by syclite::thread_pool's constructor. Does not return until every
+/// copy_bytes call in flight through the *previous* runner has completed, so
+/// disarming the bridge before pool teardown cannot race an async graph
+/// transfer node still copying through it.
 void set_parallel_runner(parallel_runner r);
 [[nodiscard]] parallel_runner parallel_runner_installed();
 

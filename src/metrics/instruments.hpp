@@ -249,6 +249,57 @@ inline counter& mem_parallel_copy_bytes() {
     return c;
 }
 
+// ---- syclite::graph (out-of-order DAG scheduler) --------------------------
+
+inline counter& sched_nodes() {
+    static counter& c = registry::instance().get_counter(
+        "altis_sched_nodes_total",
+        "Command nodes (kernels and transfers) enqueued on out-of-order "
+        "graph schedulers");
+    return c;
+}
+
+inline counter& sched_edges() {
+    static counter& c = registry::instance().get_counter(
+        "altis_sched_edges_total",
+        "Dependency edges resolved at enqueue (explicit depends_on plus "
+        "accessor/USM-implied RAW/WAR/WAW conflicts)");
+    return c;
+}
+
+inline watermark& sched_ready_depth() {
+    static watermark& w = registry::instance().get_watermark(
+        "altis_sched_ready_depth",
+        "High-water mark of dependency-free nodes waiting for a dispatch "
+        "slot");
+    return w;
+}
+
+inline histogram& sched_dispatch_latency_ns() {
+    static histogram& h = registry::instance().get_histogram(
+        "altis_sched_dispatch_latency_ns",
+        "Wall-clock ns from a node becoming ready to a worker (or joining "
+        "host) starting it");
+    return h;
+}
+
+inline histogram& sched_overlap_pct() {
+    static histogram& h = registry::instance().get_histogram(
+        "altis_sched_overlap_pct",
+        "Per-join overlap ratio: summed modeled node time over the graph "
+        "region's makespan, in percent (100 = fully serial, higher = "
+        "overlapped)");
+    return h;
+}
+
+inline counter& sched_cancelled_nodes() {
+    static counter& c = registry::instance().get_counter(
+        "altis_sched_cancelled_nodes_total",
+        "Graph nodes cancelled at their dispatch checkpoint (deadline or "
+        "explicit cancellation) before running");
+    return c;
+}
+
 // ---- altis::sanitize ------------------------------------------------------
 
 inline counter& sanitize_shadow_intervals() {

@@ -5,6 +5,7 @@
 // with the code.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "analyze/recorder.hpp"
 #include "perf/kernel_stats.hpp"
 #include "sycl/buffer.hpp"
+#include "sycl/event.hpp"
 #include "sycl/range.hpp"
 #include "sycl/small_function.hpp"
 #include "sycl/thread_pool.hpp"
@@ -42,13 +44,21 @@ public:
     template <typename T>
     [[nodiscard]] accessor<T> get_access(buffer<T>& buf, access_mode mode) {
         accessor<T> acc = buf.access(mode);
-        if (recorder_ != nullptr) {
+        if (recorder_ != nullptr || track_ranges_) {
             accesses_.push_back({buf.host_data(), buf.byte_size(),
                                  detail::to_analyze(mode),
                                  analyze::mem_kind::buffer});
-            acc.bind_lifetime(cg_.token);
+            if (recorder_ != nullptr) acc.bind_lifetime(cg_.token);
         }
         return acc;
+    }
+
+    /// Explicit scheduling edge on a previously submitted command
+    /// (sycl::handler::depends_on). Events from in-order queues -- and
+    /// default-constructed events -- carry no command id and are ignored:
+    /// such commands are complete before the caller could hold the event.
+    void depends_on(const event& e) {
+        if (e.command_id() != 0) deps_.push_back(e.command_id());
     }
 
     /// Declares a pipe endpoint for the sanitizer's topology/capacity lint
@@ -73,7 +83,7 @@ public:
     /// cannot observe them the way it observes accessors -- kernels using
     /// USM declare their ranges here.
     void uses_usm(const void* ptr, std::size_t bytes, access_mode mode) {
-        if (recorder_ == nullptr) return;
+        if (recorder_ == nullptr && !track_ranges_) return;
         accesses_.push_back(
             {ptr, bytes, detail::to_analyze(mode), analyze::mem_kind::usm});
     }
@@ -180,8 +190,11 @@ private:
     /// Called by queue::submit before the command-group function runs when a
     /// sanitize recorder is active: opens a command group (assigning the
     /// accessor-lifetime token) so everything the group requests is captured.
-    void begin_capture(analyze::recorder* rec) {
+    /// `track_ranges` additionally records accessor/USM byte ranges even with
+    /// no recorder -- out-of-order queues need them for implied graph edges.
+    void begin_capture(analyze::recorder* rec, bool track_ranges = false) {
         recorder_ = rec;
+        track_ranges_ = track_ranges;
         if (recorder_ != nullptr) cg_ = recorder_->begin_command_group();
     }
 
@@ -210,9 +223,11 @@ private:
     bool has_kernel_ = false;
 
     analyze::recorder* recorder_ = nullptr;
+    bool track_ranges_ = false;
     analyze::recorder::cg_handle cg_;
     std::vector<analyze::mem_access> accesses_;
     std::vector<analyze::pipe_endpoint> pipes_;
+    std::vector<std::uint64_t> deps_;
 };
 
 }  // namespace syclite

@@ -60,10 +60,12 @@ struct retire_guard {
 }  // namespace
 
 queue::queue(const perf::device_spec& dev, perf::runtime_kind rt,
-             async_handler handler)
+             async_handler handler, queue_property prop)
     : dev_(dev), rt_(rt), trace_(trace::session::current()),
       handler_(std::move(handler)),
       recorder_(analyze::recorder::current()) {
+    if (prop == queue_property::out_of_order)
+        sched_ = std::make_unique<graph::scheduler>(&thread_pool::global());
     // Sized for a typical timed region; amortizes away the vector growth
     // that showed up in BM_SubmitDispatch.
     events_.reserve(256);
@@ -84,8 +86,8 @@ queue::queue(const perf::device_spec& dev, perf::runtime_kind rt,
 }
 
 queue::queue(const std::string& device_name, perf::runtime_kind rt,
-             async_handler handler)
-    : queue(perf::device_by_name(device_name), rt, std::move(handler)) {}
+             async_handler handler, queue_property prop)
+    : queue(perf::device_by_name(device_name), rt, std::move(handler), prop) {}
 
 queue::~queue() {
     // Abandoning a dataflow group would leak blocked threads; join them.
@@ -93,6 +95,14 @@ queue::~queue() {
         if (t.joinable()) t.join();
     for (const pending_work& w : pending_work_)
         if (recorder_ != nullptr && w.cg != 0) recorder_->retire(w.cg);
+    if (sched_ != nullptr) {
+        // Implicit join; destructors cannot deliver, so errors are dropped
+        // (same contract as an in-order queue destroyed with async errors
+        // pending).
+        sched_->wait_all();
+        (void)sched_->drain_errors();
+        if (recorder_ != nullptr) recorder_->record_graph_join(queue_id_);
+    }
 }
 
 void queue::record_transfer_node(bool to_device, const void* base,
@@ -217,6 +227,209 @@ event queue::finish_submit(handler&& h) {
     return record(h.stats(), duration, &h.stats_.name);
 }
 
+event queue::finish_submit_graph(handler&& h) {
+    const bool metered = altis::metrics::collecting();
+    const std::uint64_t submit_t0 = metered ? wall_ns() : 0;
+    struct latency_guard {
+        bool metered;
+        std::uint64_t t0;
+        ~latency_guard() {
+            if (!metered) return;
+            namespace mi = altis::metrics::instruments;
+            mi::queue_submissions().add();
+            mi::queue_submit_latency_ns().record(wall_ns() - t0);
+        }
+    } submit_latency{metered, submit_t0};
+
+    if (!h.has_kernel()) {
+        retire_guard retire{recorder_, h.cg_.id};
+        return event(sim_now_ns_, sim_now_ns_, sim_now_ns_);
+    }
+
+    const double duration =
+        (dev_.is_fpga() && design_fmax_mhz_ > 0.0)
+            ? perf::fpga_kernel_time_ns(h.stats(), dev_, design_fmax_mhz_)
+            : perf::kernel_time_ns(h.stats(), dev_);
+    // The host side of an async launch: submission overhead lands on the
+    // host clock now; the kernel's own time lives on a graph lane and folds
+    // in at the join.
+    const double launch = perf::launch_overhead_ns(rt_, dev_);
+    const double submit = sim_now_ns_;
+    sim_now_ns_ += launch;
+    non_kernel_ns_ += launch;
+    epoch_launch_ns_ += launch;
+
+    graph::submission s;
+    s.name = h.stats().name;
+    s.exec = std::move(h.exec_);
+    s.ranges.reserve(h.accesses_.size());
+    for (const auto& a : h.accesses_)
+        s.ranges.push_back({a.base, a.bytes, analyze::writes(a.mode)});
+    s.after = std::move(h.deps_);
+    s.submit_ns = sim_now_ns_;
+    s.duration_ns = duration;
+    s.cg = h.cg_.id;
+    s.actor = h.cg_.actor;
+    s.recorder = recorder_;
+    const graph::ticket t = sched_->enqueue(std::move(s));
+
+    // Phase two: shadow edges, command-graph node, trace span and the event
+    // log all complete on this thread before release() lets the node run.
+    if (recorder_ != nullptr) {
+        analyze::node n;
+        n.kind = analyze::node_kind::kernel;
+        n.cg = h.cg_.id;
+        n.kernel = h.stats().name;
+        n.queue = queue_id_;
+        n.accesses = std::move(h.accesses_);
+        n.pipes = std::move(h.pipes_);
+        n.stats = h.stats();
+        n.device = &dev_;
+        recorder_->add_node_graph(std::move(n), t.dep_actors);
+    }
+    if (trace_ != nullptr) {
+        const double b = trace_base_ns_;
+        trace_->record({trace::span_kind::overhead, "launch", b + submit,
+                        b + submit + launch});
+        trace_->record_kernel(h.stats(), b + t.start_ns, b + t.end_ns, t.lane,
+                              1.0, t.id, t.deps);
+    }
+    events_.emplace_back(submit, t.start_ns, t.end_ns, h.stats().name, t.id,
+                         sched_->state());
+    sched_->release(t.id);
+    return events_.back();
+}
+
+event queue::submit_transfer_graph(bool to_device, void* dst_ptr,
+                                   const void* src_ptr, std::size_t bytes) {
+    const double dur = perf::transfer_ns(rt_, dev_, static_cast<double>(bytes));
+    const double submit = sim_now_ns_;
+
+    graph::submission s;
+    s.name = "transfer";
+    s.transfer = true;
+    s.exec = [dst_ptr, src_ptr, bytes](thread_pool&) {
+        altis::mem::copy_bytes(dst_ptr, src_ptr, bytes);
+    };
+    // Both sides conflict: the source orders this copy after kernels writing
+    // it (USM on the host side, the buffer on write-back), the destination
+    // after readers/writers of the buffer being overwritten.
+    s.ranges.push_back({src_ptr, bytes, false});
+    s.ranges.push_back({dst_ptr, bytes, true});
+    s.submit_ns = submit;
+    s.duration_ns = dur;
+    s.recorder = recorder_;
+    const graph::ticket t = sched_->enqueue(std::move(s));
+
+    int actor = -1;
+    if (recorder_ != nullptr)
+        actor = recorder_->record_transfer_graph(
+            queue_id_,
+            to_device ? analyze::node_kind::transfer_in
+                      : analyze::node_kind::transfer_out,
+            to_device ? dst_ptr : src_ptr, bytes, t.dep_actors);
+    if (trace_ != nullptr) {
+        trace::span sp{trace::span_kind::transfer, "transfer",
+                       trace_base_ns_ + t.start_ns,
+                       trace_base_ns_ + t.end_ns};
+        sp.counters.bytes = static_cast<double>(bytes);
+        sp.track = t.lane;  // 1: the modeled PCIe lane
+        sp.cmd = t.id;
+        sp.deps = t.deps;
+        trace_->record(std::move(sp));
+    }
+    events_.emplace_back(submit, t.start_ns, t.end_ns, std::string(), t.id,
+                         sched_->state());
+    sched_->release(t.id, actor);
+    return events_.back();
+}
+
+void queue::collect_graph_errors() {
+    if (sched_ == nullptr) return;
+    std::vector<graph::completion> failed = sched_->drain_errors();
+    // Cancellation outranks node errors, exactly as in dataflow groups: the
+    // supervisor pulled the plug, so it unwinds directly and the collateral
+    // failures are dropped with the sweep.
+    for (const graph::completion& c : failed)
+        if (c.cancelled) {
+            record_error_span("graph cancelled");
+            std::rethrow_exception(c.error);
+        }
+    for (graph::completion& c : failed) {
+        std::string label = "error[" + c.name + "]";
+        try {
+            std::rethrow_exception(c.error);
+        } catch (const std::exception& e) {
+            label += std::string(": ") + e.what();
+        } catch (...) {
+        }
+        record_error_span(label);
+        async_errors_.push_back(std::move(c.error));
+    }
+}
+
+void queue::join_graph() {
+    if (sched_ == nullptr) return;
+    sched_->wait_all();
+    // Fold the epoch's modeled timeline into the queue clocks. Kernel time
+    // is the *union* of the lanes' kernel intervals (overlapped kernels
+    // count once -- the dataflow-group convention); whatever of the epoch's
+    // span is neither kernel union nor already-charged launch overhead
+    // (serialized transfers, dependency stalls) lands on the non-kernel
+    // side, keeping kernel + non-kernel == simulated wall.
+    const double horizon = sched_->horizon_ns();
+    const double busy = sched_->busy_ns();
+    std::vector<std::pair<double, double>> spans = sched_->kernel_spans();
+    std::sort(spans.begin(), spans.end());
+    std::vector<std::pair<double, double>> merged;
+    double covered = 0.0, lo = 0.0, hi = -1.0;
+    for (const auto& [s, e] : spans) {
+        if (hi < 0.0 || s > hi) {
+            if (hi >= 0.0) {
+                covered += hi - lo;
+                merged.emplace_back(lo, hi);
+            }
+            lo = s;
+            hi = e;
+        } else {
+            hi = std::max(hi, e);
+        }
+    }
+    if (hi >= 0.0) {
+        covered += hi - lo;
+        merged.emplace_back(lo, hi);
+    }
+    kernel_ns_ += covered;
+    if (trace_ != nullptr) {
+        // The per-kernel spans live on lane tracks (>= 2), which the trace
+        // session excludes from its wall-time sums; the epoch's kernel wall
+        // share is published as group spans over the union intervals, the
+        // same convention dataflow regions use.
+        const double b = trace_base_ns_;
+        for (const auto& [s, e] : merged)
+            trace_->record(
+                {trace::span_kind::dataflow_group, "graph epoch", b + s, b + e});
+    }
+    sim_now_ns_ = std::max(sim_now_ns_, horizon);
+    const double elapsed = sim_now_ns_ - epoch_start_ns_;
+    // The epoch's non-kernel share is exactly `elapsed - covered`. Launch
+    // overhead was already charged at submit (epoch_launch_ns_), so the
+    // correction here may be negative: a launch window that a kernel lane
+    // covered gets credited back, keeping kernel + non-kernel == simulated
+    // wall. The per-epoch sum of both charges is elapsed - covered >= 0.
+    non_kernel_ns_ += elapsed - covered - epoch_launch_ns_;
+    if (altis::metrics::collecting() && busy > 0.0 && elapsed > 0.0)
+        // > 100%: the epoch packed more modeled device time than wall span,
+        // i.e. kernels/transfers actually overlapped.
+        altis::metrics::instruments::sched_overlap_pct().record(
+            100.0 * busy / elapsed);
+    if (recorder_ != nullptr) recorder_->record_graph_join(queue_id_);
+    sched_->reset_epoch();
+    epoch_start_ns_ = sim_now_ns_;
+    epoch_launch_ns_ = 0.0;
+    collect_graph_errors();
+}
+
 void queue::set_design(const std::vector<perf::kernel_stats>& design_kernels) {
     if (!dev_.is_fpga())
         throw std::logic_error("queue::set_design: only meaningful on FPGAs");
@@ -232,6 +445,9 @@ void queue::set_recorder(analyze::recorder* r) {
 void queue::begin_dataflow() {
     if (in_dataflow_)
         throw std::logic_error("queue: dataflow groups cannot nest");
+    // Dataflow groups are their own concurrency construct; on an OOO queue
+    // the graph drains first so the group starts from a settled timeline.
+    join_graph();
     in_dataflow_ = true;
     if (recorder_ != nullptr) current_group_ = recorder_->begin_group();
 }
@@ -441,6 +657,7 @@ std::vector<event> queue::end_dataflow() {
 }
 
 void queue::throw_asynchronous() {
+    collect_graph_errors();  // settled-but-undelivered graph node failures
     if (async_errors_.empty()) return;
     exception_list list(std::move(async_errors_));
     async_errors_.clear();
@@ -454,6 +671,13 @@ void queue::wait() {
     altis::resilience::checkpoint();
     if (altis::metrics::collecting())
         altis::metrics::instruments::queue_waits().add();
+    std::size_t graph_pending = 0;
+    if (sched_ != nullptr) {
+        // The L5 hint keys off how much work this join actually had in
+        // front of it, so sample before joining.
+        graph_pending = sched_->pending_count();
+        join_graph();
+    }
     const double sync = perf::sync_overhead_ns(rt_, dev_);
     if (trace_ != nullptr)
         trace_->record({trace::span_kind::sync, "wait",
@@ -461,7 +685,13 @@ void queue::wait() {
                         trace_base_ns_ + sim_now_ns_ + sync});
     sim_now_ns_ += sync;
     non_kernel_ns_ += sync;
-    if (recorder_ != nullptr) recorder_->record_wait(queue_id_);
+    epoch_start_ns_ = sim_now_ns_;
+    if (recorder_ != nullptr) {
+        if (sched_ != nullptr)
+            recorder_->record_graph_wait_node(queue_id_, graph_pending);
+        else
+            recorder_->record_wait(queue_id_);
+    }
     throw_asynchronous();
 }
 
@@ -498,10 +728,15 @@ void queue::annotate_transfer(double bytes) {
 }
 
 void queue::reset_timers() {
+    // An OOO queue joins first: in-flight nodes still charge the epoch being
+    // discarded, never the fresh timers (their errors stay queued).
+    join_graph();
     if (trace_ != nullptr) trace_base_ns_ = trace_->last_end_ns();
     sim_now_ns_ = 0.0;
     kernel_ns_ = 0.0;
     non_kernel_ns_ = 0.0;
+    epoch_start_ns_ = 0.0;
+    epoch_launch_ns_ = 0.0;
     events_.clear();
 }
 

@@ -15,6 +15,15 @@
 // delivered as an exception_list at wait()/end_dataflow() boundaries, in
 // submission order, and the queue remains usable. Without a handler the
 // first error is (re)thrown at the point it is observed.
+//
+// Queue properties (sycl::property::queue analogue): the default in_order
+// queue executes every submission eagerly and synchronously, exactly as
+// before the command graph existed. queue_property::out_of_order routes
+// kernels and copies through a graph::scheduler instead -- edges from
+// handler::depends_on events and accessor/USM-implied conflicts, ready nodes
+// dispatched asynchronously on the thread pool, errors delivered as an
+// exception_list at the next graph join (wait()/throw_asynchronous). See
+// sycl/graph.hpp and DESIGN.md "Command graph & scheduling".
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,8 @@
 #include "perf/device.hpp"
 #include "perf/overhead.hpp"
 #include "sycl/error.hpp"
+#include "sycl/event.hpp"
+#include "sycl/graph.hpp"
 #include "sycl/handler.hpp"
 #include "trace/session.hpp"
 
@@ -36,46 +47,26 @@ namespace syclite {
 
 namespace trace = altis::trace;
 
-/// Completed-command handle with simulated profiling timestamps. Kernel
-/// events carry the kernel's descriptor name; transfer/overhead events carry
-/// the empty string -- queue::events() is a self-describing command log even
-/// without a trace session attached.
-class event {
-public:
-    event() = default;
-    event(double submit_ns, double start_ns, double end_ns,
-          std::string name = {})
-        : name_(std::move(name)),
-          submit_ns_(submit_ns),
-          start_ns_(start_ns),
-          end_ns_(end_ns) {}
-
-    /// Kernel name from perf::kernel_stats; empty for transfers/overhead.
-    [[nodiscard]] const std::string& name() const { return name_; }
-
-    /// Analogue of info::event_profiling::command_submit/start/end.
-    [[nodiscard]] double profiling_submit_ns() const { return submit_ns_; }
-    [[nodiscard]] double profiling_start_ns() const { return start_ns_; }
-    [[nodiscard]] double profiling_end_ns() const { return end_ns_; }
-    [[nodiscard]] double duration_ns() const { return end_ns_ - start_ns_; }
-
-    void wait() const {}  // execution is synchronous; provided for API shape
-
-private:
-    std::string name_;
-    double submit_ns_ = 0.0;
-    double start_ns_ = 0.0;
-    double end_ns_ = 0.0;
+/// Execution-ordering property fixed at queue construction.
+enum class queue_property {
+    in_order,      ///< eager synchronous execution in submission order
+    out_of_order,  ///< DAG scheduler; only declared dependencies order work
 };
 
 class queue {
 public:
     explicit queue(const perf::device_spec& dev,
                    perf::runtime_kind rt = perf::runtime_kind::sycl,
-                   async_handler handler = {});
+                   async_handler handler = {},
+                   queue_property prop = queue_property::in_order);
     queue(const std::string& device_name,
           perf::runtime_kind rt = perf::runtime_kind::sycl,
-          async_handler handler = {});
+          async_handler handler = {},
+          queue_property prop = queue_property::in_order);
+    queue(const perf::device_spec& dev, queue_property prop)
+        : queue(dev, perf::runtime_kind::sycl, {}, prop) {}
+    queue(const std::string& device_name, queue_property prop)
+        : queue(device_name, perf::runtime_kind::sycl, {}, prop) {}
     ~queue();
 
     queue(const queue&) = delete;
@@ -83,6 +74,7 @@ public:
 
     [[nodiscard]] const perf::device_spec& device() const { return dev_; }
     [[nodiscard]] perf::runtime_kind runtime() const { return rt_; }
+    [[nodiscard]] bool is_in_order() const { return sched_ == nullptr; }
 
     /// Installs (or clears) the asynchronous error handler; see the header
     /// comment for the delivery contract.
@@ -96,9 +88,12 @@ public:
     template <typename CGF>
     event submit(CGF&& cgf) {
         handler h;
-        h.begin_capture(recorder_);
+        h.begin_capture(recorder_, /*track_ranges=*/sched_ != nullptr);
         cgf(h);
-        return finish_submit(std::move(h));
+        // Dataflow groups defer/overlap their own way, even on OOO queues.
+        return sched_ != nullptr && !in_dataflow_
+                   ? finish_submit_graph(std::move(h))
+                   : finish_submit(std::move(h));
     }
 
     /// Host synchronization (cudaDeviceSynchronize / queue::wait analogue);
@@ -133,7 +128,18 @@ public:
     /// memcpy jobs on the thread pool. Wall-clock only: the simulated PCIe
     /// charge from annotate_transfer is identical either way.
     template <typename T>
-    void copy_to_device(buffer<T>& dst, const T* src) {
+    event copy_to_device(buffer<T>& dst, const T* src) {
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            if (sched_ != nullptr)
+                // Asynchronous on the graph: a node writing the buffer's
+                // range, ordered after conflicting in-flight commands by the
+                // implied-edge machinery; the returned event joins it.
+                return submit_transfer_graph(/*to_device=*/true,
+                                             dst.host_data(), src,
+                                             dst.byte_size());
+        } else {
+            if (sched_ != nullptr) join_graph();
+        }
         annotate_transfer(static_cast<double>(dst.byte_size()));
         if (recorder_ != nullptr)
             record_transfer_node(/*to_device=*/true, dst.host_data(),
@@ -142,9 +148,24 @@ public:
             altis::mem::copy_bytes(dst.host_data(), src, dst.byte_size());
         else
             std::copy(src, src + dst.size(), dst.host_data());
+        return events_.back();
     }
     template <typename T>
-    void copy_from_device(const buffer<T>& src, T* dst) {
+    event copy_from_device(const buffer<T>& src, T* dst) {
+        if constexpr (std::is_trivially_copyable_v<T>) {
+            if (sched_ != nullptr) {
+                // Write-back is a targeted graph join: the copy node depends
+                // (through implied edges) on every producer of the buffer's
+                // range, and waiting on it drains exactly that chain.
+                event e = submit_transfer_graph(/*to_device=*/false, dst,
+                                                src.host_data(),
+                                                src.byte_size());
+                e.wait();
+                return e;
+            }
+        } else {
+            if (sched_ != nullptr) join_graph();
+        }
         annotate_transfer(static_cast<double>(src.byte_size()));
         if (recorder_ != nullptr)
             record_transfer_node(/*to_device=*/false, src.host_data(),
@@ -153,6 +174,7 @@ public:
             altis::mem::copy_bytes(dst, src.host_data(), src.byte_size());
         else
             std::copy(src.host_data(), src.host_data() + src.size(), dst);
+        return events_.back();
     }
     /// Timing-only transfer annotation (no functional copy); also the
     /// injection point for `transfer` faults.
@@ -184,6 +206,15 @@ public:
     void set_trace(trace::session* s) { trace_ = s; }
     [[nodiscard]] trace::session* trace() const { return trace_; }
 
+    /// Replaces the thread pool the graph scheduler dispatches ready nodes
+    /// onto (default: thread_pool::global()). Benchmarks hand in a dedicated
+    /// multi-worker pool to measure overlap on single-core hosts. The pool
+    /// must outlive the queue or be swapped out again before dying. No-op on
+    /// in-order queues.
+    void set_graph_pool(thread_pool* pool) {
+        if (sched_ != nullptr) sched_->set_pool(pool);
+    }
+
     /// Sanitizing. The constructor adopts analyze::recorder::current() the
     /// same way, so `--sanitize` captures every submission's command graph
     /// with no app changes; set_recorder() overrides (nullptr detaches).
@@ -214,6 +245,20 @@ private:
     };
 
     event finish_submit(handler&& h);
+    /// Out-of-order path of submit(): two-phase enqueue onto the graph
+    /// scheduler (enqueue -> recorder/trace/events bookkeeping -> release).
+    event finish_submit_graph(handler&& h);
+    /// Async copy as a graph node. `device` is the buffer's backing range
+    /// (the conflict identity kernels declare); `host` the app-side pointer.
+    event submit_transfer_graph(bool to_device, void* dst_ptr,
+                                const void* src_ptr, std::size_t bytes);
+    /// Joins the whole graph and folds its modeled timeline into the queue
+    /// clocks; queues node errors for async delivery (cancellation rethrows)
+    /// and starts a fresh epoch. No-op on in-order queues.
+    void join_graph();
+    /// Moves settled node failures into async_errors_ (submission order)
+    /// without joining; rethrows directly on cancellation.
+    void collect_graph_errors();
     /// Appends the kernel event; when `name` is non-null its string is moved
     /// into the event instead of copying stats.name (submissions own their
     /// handler, so finish_submit can donate the name it no longer needs).
@@ -254,6 +299,15 @@ private:
     analyze::recorder* recorder_ = nullptr;
     int queue_id_ = -1;       ///< recorder-assigned ordinal
     int current_group_ = -1;  ///< open dataflow group id (recorder active)
+
+    /// Non-null iff constructed queue_property::out_of_order.
+    std::unique_ptr<graph::scheduler> sched_;
+    /// Simulated time the current graph epoch opened at; the overlap metric
+    /// compares the epoch's modeled busy time against horizon - this.
+    double epoch_start_ns_ = 0.0;
+    /// Launch overhead already charged to non_kernel_ns_ this epoch, so the
+    /// join's remainder fold does not double-count it.
+    double epoch_launch_ns_ = 0.0;
 };
 
 /// RAII dataflow group: begins the group on construction; join() ends it and

@@ -101,12 +101,23 @@ void thread_pool::worker_loop() {
             const std::uint64_t idle_from = meter_idle ? now_ns() : 0;
             std::unique_lock lock(mutex_);
             wake_.wait(lock, [&] {
-                return stop_ || (j = pick_job()) != nullptr;
+                return stop_ || !tasks_.empty() ||
+                       (j = pick_job()) != nullptr;
             });
             if (meter_idle)
                 altis::metrics::instruments::pool_worker_idle_ns().add(
                     now_ns() - idle_from);
             if (stop_) return;
+            if (!tasks_.empty()) {
+                // Tasks drain ahead of jobs: a posted graph dispatch usually
+                // *produces* the parallel_for work the jobs path then shares.
+                detail::small_function<void()> task =
+                    std::move(tasks_.front());
+                tasks_.pop_front();
+                lock.unlock();
+                task();
+                continue;
+            }
             // Joining under the lock pairs with retirement in parallel_for:
             // once the submitter removes its job from jobs_, no new worker
             // can raise active_workers, so draining to zero is final.
@@ -126,6 +137,15 @@ void thread_pool::worker_loop() {
                 done_.notify_all();
         }
     }
+}
+
+void thread_pool::post(detail::small_function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        if (stop_) return;
+        tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
 }
 
 void thread_pool::parallel_for(std::size_t n,

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -37,6 +38,13 @@ public:
     /// fn is borrowed, not owned (it outlives the call by construction), so
     /// submission allocates nothing.
     void parallel_for(std::size_t n, detail::function_ref<void(std::size_t)> fn);
+
+    /// Fire-and-forget task for a worker thread (the graph scheduler posts
+    /// ready-node dispatches this way). Tasks interleave with parallel_for
+    /// jobs on the same workers. Posting after shutdown began silently drops
+    /// the task -- graph joins run ready nodes inline, so nothing is lost.
+    /// Tasks must not throw.
+    void post(detail::small_function<void()> task);
 
     [[nodiscard]] unsigned worker_count() const {
         return static_cast<unsigned>(workers_.size());
@@ -79,6 +87,8 @@ private:
     /// Jobs with possibly-unclaimed work; publication and retirement happen
     /// under mutex_, claiming chunks is lock-free via job::next.
     std::vector<job*> jobs_;
+    /// One-shot tasks from post(); drained FIFO by workers, ahead of jobs.
+    std::deque<detail::small_function<void()>> tasks_;
     bool stop_ = false;
 };
 

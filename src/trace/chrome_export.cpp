@@ -1,5 +1,7 @@
 #include "trace/chrome_export.hpp"
 
+#include <cstdint>
+#include <map>
 #include <ostream>
 #include <set>
 
@@ -112,6 +114,33 @@ void write_chrome_json(const session& s, std::ostream& out,
         if (!first) out << ",\n";
         first = false;
         write_event(out, sp);
+    }
+    // Perfetto flow arrows between dependent graph commands (out-of-order
+    // queues): one "s"/"f" pair per resolved edge, anchored at the
+    // producer's end and the consumer's start.
+    struct flow_anchor {
+        double ts_us;
+        int tid;
+    };
+    std::map<std::uint64_t, flow_anchor> producers;
+    for (const auto& sp : s.spans())
+        if (sp.cmd != 0)
+            producers[sp.cmd] = {sp.end_ns / 1e3, tid_for(sp)};
+    std::uint64_t flow_id = 0;
+    for (const auto& sp : s.spans()) {
+        for (const std::uint64_t dep : sp.deps) {
+            const auto it = producers.find(dep);
+            if (it == producers.end()) continue;
+            ++flow_id;
+            out << ",\n    {\"name\": \"dep\", \"cat\": \"graph\", \"ph\": "
+                   "\"s\", \"id\": "
+                << flow_id << ", \"pid\": 1, \"tid\": " << it->second.tid
+                << ", \"ts\": " << it->second.ts_us << "}";
+            out << ",\n    {\"name\": \"dep\", \"cat\": \"graph\", \"ph\": "
+                   "\"f\", \"bp\": \"e\", \"id\": "
+                << flow_id << ", \"pid\": 1, \"tid\": " << tid_for(sp)
+                << ", \"ts\": " << sp.start_ns / 1e3 << "}";
+        }
     }
     if (metrics != nullptr)
         altis::metrics::write_chrome_counter_events(metrics->series(), out,

@@ -39,13 +39,17 @@ session::session(std::string name) : name_(std::move(name)) {}
 void session::record(span s) { spans_.push_back(std::move(s)); }
 
 void session::record_kernel(const perf::kernel_stats& k, double start_ns,
-                            double end_ns, int track, double invocations) {
+                            double end_ns, int track, double invocations,
+                            std::uint64_t cmd,
+                            std::vector<std::uint64_t> deps) {
     span s;
     s.kind = span_kind::kernel;
     s.name = k.name.empty() ? "<unnamed kernel>" : k.name;
     s.start_ns = start_ns;
     s.end_ns = end_ns;
     s.track = track;
+    s.cmd = cmd;
+    s.deps = std::move(deps);
     s.counters.flops = (k.total_fp32() + k.total_fp64() + k.total_sfu()) *
                        invocations;
     s.counters.bytes = k.total_bytes() * invocations;

@@ -31,9 +31,12 @@ public:
     void record(span s);
     /// Kernel span with counters derived from the model descriptor.
     /// `invocations > 1` marks an aggregated slot (duration covers them all).
+    /// Graph commands pass their command id and resolved dependency ids so
+    /// exporters can draw flow arrows (cmd 0 = not a graph command).
     void record_kernel(const perf::kernel_stats& k, double start_ns,
                        double end_ns, int track = 0,
-                       double invocations = 1.0);
+                       double invocations = 1.0, std::uint64_t cmd = 0,
+                       std::vector<std::uint64_t> deps = {});
 
     /// Top-level region bracketing. Regions may nest; each end_region pops
     /// the innermost open region and records its span.

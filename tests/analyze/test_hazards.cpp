@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ std::vector<std::string> rules_of(const report& r) {
 bool has_rule(const report& r, const std::string& id) {
     const auto ids = rules_of(r);
     return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+std::string render(const report& r) {
+    std::ostringstream os;
+    r.render_text(os);
+    return os.str();
 }
 
 TEST(Hazards, H1UnpipedConflictInDataflowGroup) {
@@ -268,6 +275,47 @@ TEST(Hazards, L5RedundantBackToBackWait) {
         q.wait();  // nothing happened in between
     }
     EXPECT_TRUE(has_rule(run_all(rec), "ALS-L5"));
+}
+
+TEST(Hazards, L5OooJoinWithNoPendingEdgesFiresWithEventHint) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128",
+                         syclite::queue_property::out_of_order);
+        syclite::buffer<int> buf(8);
+        q.submit([&](syclite::handler& h) {
+            auto a = h.get_access(buf, syclite::access_mode::write);
+            (void)a;
+            h.single_task(named("work"), [] {});
+        });
+        q.wait();
+        q.wait();  // graph join with zero incoming edges
+    }
+    const report r = run_all(rec);
+    ASSERT_TRUE(has_rule(r, "ALS-L5")) << render(r);
+    // The graph variant of the rule names the targeted alternative.
+    EXPECT_NE(render(r).find("event::wait()"), std::string::npos)
+        << render(r);
+}
+
+TEST(Hazards, L5SilentForOooJoinsThatOrderedWork) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128",
+                         syclite::queue_property::out_of_order);
+        syclite::buffer<int> buf(8);
+        for (int round = 0; round < 2; ++round) {
+            q.submit([&](syclite::handler& h) {
+                auto a = h.get_access(buf, syclite::access_mode::write);
+                (void)a;
+                h.single_task(named("work"), [] {});
+            });
+            q.wait();  // each join has one pending command
+        }
+    }
+    EXPECT_FALSE(has_rule(run_all(rec), "ALS-L5"));
 }
 
 TEST(Hazards, PassiveWithoutRecorder) {

@@ -340,6 +340,97 @@ TEST(Races, ShadowHooksAreInertWithoutASession) {
               before);
 }
 
+// ---- ALS-R1 under the out-of-order graph scheduler ------------------------
+
+TEST(Races, R1FiresWhenDeclaredDisjointOooKernelsOverlapInPractice) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128",
+                         syclite::queue_property::out_of_order);
+        int* p = syclite::malloc_shared<int>(32, q);
+        ASSERT_NE(p, nullptr);
+        // Each kernel *declares* its own half -- no implied edge, so the
+        // graph runs them unordered -- but both *observe* writes to the
+        // full range: a lying declaration the happens-before engine must
+        // catch precisely because it derives HB from graph edges, not
+        // submission order.
+        q.submit([&](syclite::handler& h) {
+            h.uses_usm(p, 16 * sizeof(int), syclite::access_mode::write);
+            h.single_task(named("half_lo"), [p] {
+                shadow::observe_write(p, 32 * sizeof(int));
+            });
+        });
+        q.submit([&](syclite::handler& h) {
+            h.uses_usm(p + 16, 16 * sizeof(int), syclite::access_mode::write);
+            h.single_task(named("half_hi"), [p] {
+                shadow::observe_write(p, 32 * sizeof(int));
+            });
+        });
+        q.wait();
+        syclite::usm_free(p, q);
+    }
+    const report r = run_all(rec);
+    EXPECT_TRUE(has_rule(r, "ALS-R1")) << render(r);
+}
+
+TEST(Races, R1SilentWhenAGraphEdgeOrdersTheOooKernels) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128",
+                         syclite::queue_property::out_of_order);
+        int* p = syclite::malloc_shared<int>(32, q);
+        ASSERT_NE(p, nullptr);
+        // Same lying declarations, but an explicit depends_on edge orders
+        // the pair: HB derived from the graph covers the overlap.
+        syclite::event first = q.submit([&](syclite::handler& h) {
+            h.uses_usm(p, 16 * sizeof(int), syclite::access_mode::write);
+            h.single_task(named("half_lo"), [p] {
+                shadow::observe_write(p, 32 * sizeof(int));
+            });
+        });
+        q.submit([&](syclite::handler& h) {
+            h.depends_on(first);
+            h.uses_usm(p + 16, 16 * sizeof(int), syclite::access_mode::write);
+            h.single_task(named("half_hi"), [p] {
+                shadow::observe_write(p, 32 * sizeof(int));
+            });
+        });
+        q.wait();
+        syclite::usm_free(p, q);
+    }
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R1")) << render(r);
+}
+
+TEST(Races, R1SilentForImpliedAccessorEdgesOnAnOooQueue) {
+    recorder rec;
+    {
+        recorder::scope scope(rec);
+        syclite::queue q("xeon_6128",
+                         syclite::queue_property::out_of_order);
+        syclite::buffer<int> buf(16);
+        for (int k = 0; k < 2; ++k) {
+            q.submit([&](syclite::handler& h) {
+                auto a =
+                    h.get_access(buf, syclite::access_mode::read_write);
+                h.single_task(named(k == 0 ? "first" : "second"), [a] {
+                    for (std::size_t i = 0; i < 16; ++i) a[i] = 1;
+                });
+            });
+        }
+        q.wait();
+    }
+    // The declared read_write ranges conflict, so the scheduler inserted a
+    // WAW edge -- the same real element writes that are ordered by queue
+    // chaining in the in-order variant of this test are ordered by the
+    // graph here.
+    const report r = run_all(rec);
+    EXPECT_FALSE(has_rule(r, "ALS-R1")) << render(r);
+    EXPECT_FALSE(has_rule(r, "ALS-D1")) << render(r);
+}
+
 // ---- determinism ----------------------------------------------------------
 
 TEST(Races, FindingsAndJsonAreByteStableAcrossRuns) {

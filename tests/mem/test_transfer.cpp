@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "metrics/instruments.hpp"
@@ -117,6 +119,58 @@ TEST(Transfer, ParallelCopiesAreMeteredUnderASession) {
     // Below-threshold traffic is not counted as a parallel copy.
     copy_bytes(dst.data(), src.data(), 1024);
     EXPECT_EQ(mi::mem_parallel_copies().value(), 1u);
+}
+
+std::atomic<bool> g_slow_started{false};
+std::atomic<bool> g_slow_release{false};
+
+/// Runner that parks mid-copy until the test releases it, modeling an async
+/// graph transfer node still executing while another thread tears the pool
+/// down.
+void parking_runner(std::size_t n, void (*fn)(void*, std::size_t),
+                    void* ctx) {
+    g_slow_started.store(true, std::memory_order_release);
+    while (!g_slow_release.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    for (std::size_t i = 0; i < n; ++i) fn(ctx, i);
+}
+
+// Regression: set_parallel_runner used to return immediately, so a pool
+// being destroyed could yank the runner out from under a copy_bytes call
+// that an out-of-order queue's scheduler had dispatched asynchronously.
+// Disarming must drain in-flight copies first.
+TEST(Transfer, DisarmingTheRunnerDrainsInFlightCopies) {
+    const parallel_runner prev = parallel_runner_installed();
+    g_slow_started.store(false);
+    g_slow_release.store(false);
+    set_parallel_runner(&parking_runner);
+
+    const std::size_t bytes = std::size_t{4} << 20;
+    const auto src = pattern(bytes);
+    std::vector<unsigned char> dst(bytes, 0);
+    std::atomic<bool> copied{false};
+    std::thread copier([&] {
+        copy_bytes(dst.data(), src.data(), bytes);
+        copied.store(true, std::memory_order_release);
+    });
+    while (!g_slow_started.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    std::atomic<bool> disarmed{false};
+    std::thread disarmer([&] {
+        set_parallel_runner(prev);  // must block until the copy finishes
+        disarmed.store(true, std::memory_order_release);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(disarmed.load(std::memory_order_acquire))
+        << "set_parallel_runner returned with a copy still in flight";
+
+    g_slow_release.store(true, std::memory_order_release);
+    copier.join();
+    disarmer.join();
+    EXPECT_TRUE(copied.load(std::memory_order_acquire));
+    EXPECT_TRUE(disarmed.load(std::memory_order_acquire));
+    EXPECT_EQ(dst, src);
 }
 
 }  // namespace
