@@ -56,6 +56,16 @@ public:
     /// handler::depends_on uses it to add an explicit edge.
     [[nodiscard]] std::uint64_t command_id() const { return cmd_; }
 
+    /// Scheduler state of the graph that produced this command (null for
+    /// in-order events). Command ids are per-scheduler counters, so an id is
+    /// only meaningful together with this handle: handler::depends_on keeps
+    /// both, and the queue resolves same-graph ids as edges while waiting on
+    /// foreign-graph events instead of misattaching their ids.
+    [[nodiscard]] const std::shared_ptr<graph::scheduler_state>& graph_state()
+        const {
+        return graph_;
+    }
+
     /// In-order commands: no-op (execution was synchronous). Graph commands:
     /// functional join of this node and, transitively, its dependencies --
     /// the calling thread helps run ready nodes. Errors stay queued for the

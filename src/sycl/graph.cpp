@@ -279,9 +279,19 @@ void settle(const std::shared_ptr<scheduler_state>& st, std::uint64_t id,
         // Dependents run regardless of this node's outcome (in-order queues
         // likewise keep executing after a failed submission); a cancelled
         // epoch cancels them one by one at their own dispatch checkpoint.
+        // `held` dependents must be decremented too: a dependency can settle
+        // on a pool worker while the dependent's queue is still doing its
+        // submit-side bookkeeping (between enqueue() and release()), and
+        // skipping the edge here would leave `unmet` permanently positive --
+        // the node would never become ready and every later join would hang.
+        // The release-hold (+1 in unmet) guarantees a held node cannot reach
+        // zero before release(), so decrementing is safe. Ready/running/
+        // settled dependents have no unsettled edges left by construction.
         for (const std::uint64_t d : n->dependents) {
             node_rec* m = st->find(d);
-            if (m == nullptr || m->state != node_state::pending) continue;
+            if (m == nullptr || (m->state != node_state::pending &&
+                                 m->state != node_state::held))
+                continue;
             if (--m->unmet == 0 && st->make_ready(*m))
                 newly_ready.push_back(d);
         }

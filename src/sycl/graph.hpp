@@ -61,8 +61,11 @@ struct submission {
     };
     /// Declared ranges; implied edges are carved from these.
     std::vector<byte_range> ranges;
-    /// Explicit dependencies (event::command_id values). Unknown or already
-    /// retired ids are ignored -- they are complete by construction.
+    /// Explicit dependencies (event::command_id values) -- ids issued by
+    /// *this* scheduler only; ids are per-scheduler counters, so the caller
+    /// must resolve foreign-graph events itself (queue::finish_submit_graph
+    /// waits on them). Unknown or already retired ids are ignored -- they
+    /// are complete by construction.
     std::vector<std::uint64_t> after;
 
     double submit_ns = 0.0;    ///< simulated time the host issued the node

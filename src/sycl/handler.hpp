@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,13 @@ namespace detail {
 
 class handler {
 public:
+    /// One depends_on edge: the command id plus the scheduler that issued it
+    /// (ids alone are ambiguous across queues).
+    struct graph_dep {
+        std::uint64_t id = 0;
+        std::shared_ptr<graph::scheduler_state> state;
+    };
+
     template <typename T>
     [[nodiscard]] accessor<T> get_access(buffer<T>& buf, access_mode mode) {
         accessor<T> acc = buf.access(mode);
@@ -57,8 +65,13 @@ public:
     /// (sycl::handler::depends_on). Events from in-order queues -- and
     /// default-constructed events -- carry no command id and are ignored:
     /// such commands are complete before the caller could hold the event.
+    /// The producing scheduler's state rides along with the id: command ids
+    /// are per-scheduler counters, so an event from a *different* queue's
+    /// graph cannot become an edge in this queue's graph -- the submitting
+    /// queue instead waits on the foreign node (see queue::finish_submit_graph).
     void depends_on(const event& e) {
-        if (e.command_id() != 0) deps_.push_back(e.command_id());
+        if (e.command_id() != 0)
+            deps_.push_back({e.command_id(), e.graph_state()});
     }
 
     /// Declares a pipe endpoint for the sanitizer's topology/capacity lint
@@ -227,7 +240,7 @@ private:
     analyze::recorder::cg_handle cg_;
     std::vector<analyze::mem_access> accesses_;
     std::vector<analyze::pipe_endpoint> pipes_;
-    std::vector<std::uint64_t> deps_;
+    std::vector<graph_dep> deps_;
 };
 
 }  // namespace syclite

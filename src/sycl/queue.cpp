@@ -57,6 +57,17 @@ struct retire_guard {
     }
 };
 
+/// Releases an enqueued (held) graph node on every exit path of the
+/// submit-side bookkeeping, so an exception there cannot leave the node held
+/// (which would deadlock every subsequent graph join). release() ignores
+/// non-held nodes, so the guard is idempotent.
+struct release_guard {
+    graph::scheduler* sched;
+    std::uint64_t id;
+    int actor = -1;
+    ~release_guard() { sched->release(id, actor); }
+};
+
 }  // namespace
 
 queue::queue(const perf::device_spec& dev, perf::runtime_kind rt,
@@ -165,6 +176,12 @@ event queue::finish_submit(handler&& h) {
         }
     } submit_latency{metered, submit_t0};
 
+    // In-order queues run synchronously, so a depends_on edge on a
+    // same-queue event is vacuous -- but an event from an out-of-order
+    // queue's graph (the only kind that carries a command id) still needs a
+    // real join before this command may run.
+    for (const handler::graph_dep& d : h.deps_) graph::wait_node(d.state, d.id);
+
     if (!h.has_kernel()) {
         // An empty command group still handed out accessors; their lifetime
         // ends here.
@@ -265,7 +282,19 @@ event queue::finish_submit_graph(handler&& h) {
     s.ranges.reserve(h.accesses_.size());
     for (const auto& a : h.accesses_)
         s.ranges.push_back({a.base, a.bytes, analyze::writes(a.mode)});
-    s.after = std::move(h.deps_);
+    // Explicit deps: ids are per-scheduler counters, so only events produced
+    // by *this* queue's graph become edges. An event from another queue's
+    // graph is joined here instead -- a blocking cross-queue sync rather
+    // than a graph edge (documented limitation, DESIGN.md Sec. 4a); the
+    // foreign id must never reach enqueue(), where it would alias an
+    // unrelated node of this graph.
+    s.after.reserve(h.deps_.size());
+    for (const handler::graph_dep& d : h.deps_) {
+        if (d.state == sched_->state())
+            s.after.push_back(d.id);
+        else
+            graph::wait_node(d.state, d.id);
+    }
     s.submit_ns = sim_now_ns_;
     s.duration_ns = duration;
     s.cg = h.cg_.id;
@@ -275,6 +304,10 @@ event queue::finish_submit_graph(handler&& h) {
 
     // Phase two: shadow edges, command-graph node, trace span and the event
     // log all complete on this thread before release() lets the node run.
+    // The release is a scope guard: if any of that bookkeeping throws, the
+    // node must still be released, or it stays `held` forever and every
+    // later join -- including ~queue during unwind -- deadlocks.
+    release_guard release{sched_.get(), t.id};
     if (recorder_ != nullptr) {
         analyze::node n;
         n.kind = analyze::node_kind::kernel;
@@ -296,7 +329,6 @@ event queue::finish_submit_graph(handler&& h) {
     }
     events_.emplace_back(submit, t.start_ns, t.end_ns, h.stats().name, t.id,
                          sched_->state());
-    sched_->release(t.id);
     return events_.back();
 }
 
@@ -321,6 +353,7 @@ event queue::submit_transfer_graph(bool to_device, void* dst_ptr,
     s.recorder = recorder_;
     const graph::ticket t = sched_->enqueue(std::move(s));
 
+    release_guard release{sched_.get(), t.id};
     int actor = -1;
     if (recorder_ != nullptr)
         actor = recorder_->record_transfer_graph(
@@ -328,6 +361,7 @@ event queue::submit_transfer_graph(bool to_device, void* dst_ptr,
             to_device ? analyze::node_kind::transfer_in
                       : analyze::node_kind::transfer_out,
             to_device ? dst_ptr : src_ptr, bytes, t.dep_actors);
+    release.actor = actor;
     if (trace_ != nullptr) {
         trace::span sp{trace::span_kind::transfer, "transfer",
                        trace_base_ns_ + t.start_ns,
@@ -340,7 +374,6 @@ event queue::submit_transfer_graph(bool to_device, void* dst_ptr,
     }
     events_.emplace_back(submit, t.start_ns, t.end_ns, std::string(), t.id,
                          sched_->state());
-    sched_->release(t.id, actor);
     return events_.back();
 }
 

@@ -239,6 +239,88 @@ TEST(GraphSched, DependsOnOrdersIndependentKernelsUnderRealConcurrency) {
     }
 }
 
+TEST(GraphSched, DependsOnAcrossQueuesJoinsForeignGraph) {
+    // Regression: command ids are per-scheduler counters, so resolving a
+    // foreign event's id against this queue's graph aliases an unrelated
+    // node -- here producer and consumer are both node 1 of their own
+    // schedulers, so the dep used to be self-filtered and the edge silently
+    // vanished. Cross-queue depends_on now joins the foreign node at submit.
+    thread_pool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        queue q1("rtx_2080", queue_property::out_of_order);
+        queue q2("rtx_2080", queue_property::out_of_order);
+        q1.set_graph_pool(&pool);
+        q2.set_graph_pool(&pool);
+        std::atomic<int> stage{0};
+        bool saw_first = false;
+        event e1 = q1.submit([&](handler& h) {
+            h.library_call(stats("producer"), [&] {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+                stage.store(1, std::memory_order_release);
+            });
+        });
+        q2.submit([&](handler& h) {
+            h.depends_on(e1);  // foreign graph: must join q1's node
+            h.library_call(stats("consumer"), [&] {
+                saw_first = stage.load(std::memory_order_acquire) == 1;
+            });
+        });
+        q2.wait();
+        ASSERT_TRUE(saw_first) << "cross-queue depends_on ignored (round "
+                               << round << ")";
+        q1.wait();
+    }
+}
+
+TEST(GraphSched, DependsOnForeignEventOnInOrderQueueWaits) {
+    // An in-order queue executes synchronously, but a depends_on edge on an
+    // out-of-order queue's event still needs a real join before the command
+    // runs (previously the handler's deps were dropped on this path).
+    thread_pool pool(4);
+    queue ooo("rtx_2080", queue_property::out_of_order);
+    ooo.set_graph_pool(&pool);
+    queue inorder("rtx_2080");
+    std::atomic<int> stage{0};
+    event e = ooo.submit([&](handler& h) {
+        h.library_call(stats("producer"), [&] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            stage.store(1, std::memory_order_release);
+        });
+    });
+    bool saw_first = false;
+    inorder.submit([&](handler& h) {
+        h.depends_on(e);
+        h.library_call(stats("consumer"), [&] {
+            saw_first = stage.load(std::memory_order_acquire) == 1;
+        });
+    });
+    EXPECT_TRUE(saw_first) << "in-order queue ignored a foreign graph event";
+    ooo.wait();
+}
+
+TEST(GraphSched, DependencySettlingDuringSubmitWindowIsNotLost) {
+    // Regression for a lost-wakeup race: a dependency that settles on a pool
+    // worker while its dependent is still `held` (between enqueue() and
+    // release() of the two-phase submit) must still decrement the
+    // dependent's unmet count -- otherwise the node never becomes ready and
+    // wait() hangs. Tiny kernels maximize the chance of settling inside the
+    // submit-bookkeeping window; with the bug this test hangs within a few
+    // hundred rounds.
+    thread_pool pool(4);
+    queue q("rtx_2080", queue_property::out_of_order);
+    q.set_graph_pool(&pool);
+    for (int round = 0; round < 300; ++round) {
+        event e = q.submit([&](handler& h) {
+            h.library_call(stats("tiny_dep"), [] {});
+        });
+        q.submit([&](handler& h) {
+            h.depends_on(e);
+            h.library_call(stats("dependent"), [] {});
+        });
+        q.wait();
+    }
+}
+
 // ---- determinism ----------------------------------------------------------
 
 /// One seeded program: `ops` random read-modify-write kernels over a small
